@@ -1,0 +1,280 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper at reduced (Quick) scale, so `go test -bench=.` reproduces the
+// full evaluation pipeline end to end. Paper-scale runs use cmd/experiments.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"glider/internal/cpu"
+	"glider/internal/experiments"
+	"glider/internal/workload"
+)
+
+// render discards output; benchmarks measure compute, not I/O.
+type discardRenderer interface{ Render(w io.Writer) }
+
+func renderQuiet(b *testing.B, r discardRenderer) {
+	b.Helper()
+	r.Render(io.Discard)
+}
+
+func BenchmarkTable1Hierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		renderQuiet(b, experiments.RunTable1())
+	}
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, t)
+	}
+}
+
+func BenchmarkFig4AttentionCDF(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig5AttentionHeatmap(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig6Shuffle(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig9OfflineAccuracy(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig10OnlineAccuracy(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig11MissReduction(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+// BenchmarkFig12Speedup shares its simulation with Figure 11 (the harness
+// computes both metrics in one pass); it is kept as a separate bench target
+// per the experiment index.
+func BenchmarkFig12Speedup(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig13Multicore(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig14SequenceLength(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig14(cfg, []int{5, 10}, []int{2, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkFig15Convergence(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, f)
+	}
+}
+
+func BenchmarkTable3Cost(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, t)
+	}
+}
+
+func BenchmarkTable4Anchor(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, t)
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+func BenchmarkAblationOptgenVsBelady(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblationOptgenVsBelady(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, a)
+	}
+}
+
+func BenchmarkAblationOrderedVsUnordered(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblationOrderedVsUnordered(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, a)
+	}
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblationThreshold(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, a)
+	}
+}
+
+func BenchmarkAblationTableSize(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblationTableSize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, a)
+	}
+}
+
+func BenchmarkAblationHistoryLen(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunAblationHistoryLen(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, a)
+	}
+}
+
+// --- Microbenchmarks: raw simulator throughput ---
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, err := workload.Lookup("omnetpp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := spec.Generate(200_000, 42)
+	for _, pol := range []string{"lru", "ship++", "hawkeye", "glider"} {
+		b.Run(pol, func(b *testing.B) {
+			h, err := cpu.BuildHierarchy(1, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(tr.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cpu.RunFunctional(tr, h, 0, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMLP covers the paper's future-work direction: MPPPB's
+// multiperspective features inside a deep model (see DESIGN.md §4).
+func BenchmarkExtensionMLP(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.RunExtensionMLP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, e)
+	}
+}
+
+// BenchmarkLineage measures the §2.1 policy-evolution study.
+func BenchmarkLineage(b *testing.B) {
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		l, err := experiments.RunLineage(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderQuiet(b, l)
+	}
+}

@@ -1,0 +1,213 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-accesses N] [-mixes N] [-seed N] <experiment>...
+//
+// where <experiment> is any of: table1 table2 table3 table4 fig4 fig5 fig6
+// fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations all.
+//
+// fig11 and fig12 share simulation runs and are emitted together.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"glider/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced Quick configuration")
+	accesses := flag.Int("accesses", 0, "override per-benchmark trace length")
+	offlineAccesses := flag.Int("offline-accesses", 0, "override offline trace length")
+	mixes := flag.Int("mixes", 0, "override number of 4-core mixes")
+	seed := flag.Int64("seed", 0, "override trace seed")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	lstmN := flag.Int("lstm-n", 0, "override LSTM sequence warmup length N")
+	lstmEpochs := flag.Int("lstm-epochs", 0, "override LSTM training epochs")
+	lstmSeqs := flag.Int("lstm-seqs", 0, "override LSTM training sequences per epoch")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *accesses > 0 {
+		cfg.Accesses = *accesses
+	}
+	if *offlineAccesses > 0 {
+		cfg.OfflineAccesses = *offlineAccesses
+	}
+	if *mixes > 0 {
+		cfg.Mixes = *mixes
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *lstmN > 0 {
+		cfg.LSTM.HistoryLen = *lstmN
+	}
+	if *lstmEpochs > 0 {
+		cfg.LSTM.Epochs = *lstmEpochs
+	}
+	if *lstmSeqs > 0 {
+		cfg.LSTM.MaxTrainSequences = *lstmSeqs
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|all>...")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "table3", "table4", "ablations", "extension", "lineage"}
+	}
+
+	for _, name := range args {
+		start := time.Now()
+		if err := run(name, cfg, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// renderer is any experiment result.
+type renderer interface{ Render(w io.Writer) }
+
+// emit writes a result as text or JSON.
+func emit(name string, r renderer, asJSON bool) error {
+	if !asJSON {
+		r.Render(os.Stdout)
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": name, "result": r})
+}
+
+func run(name string, cfg experiments.Config, asJSON bool) error {
+	switch name {
+	case "table1":
+		return emit(name, experiments.RunTable1(), asJSON)
+	case "table2":
+		t, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, t, asJSON)
+	case "table3":
+		t, err := experiments.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, t, asJSON)
+	case "table4":
+		t, err := experiments.RunTable4(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, t, asJSON)
+	case "fig4":
+		f, err := experiments.RunFig4(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig5":
+		f, err := experiments.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig6":
+		f, err := experiments.RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig9":
+		f, err := experiments.RunFig9(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig10":
+		f, err := experiments.RunFig10(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig11", "fig12":
+		f, err := experiments.RunFig11(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig13":
+		f, err := experiments.RunFig13(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig14":
+		lstm, linear := experiments.DefaultFig14Lens()
+		f, err := experiments.RunFig14(cfg, lstm, linear)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "fig15":
+		f, err := experiments.RunFig15(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, f, asJSON)
+	case "extension":
+		e, err := experiments.RunExtensionMLP(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(name, e, asJSON); err != nil {
+			return err
+		}
+		q, err := experiments.RunExtensionQuantization(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, q, asJSON)
+	case "lineage":
+		l, err := experiments.RunLineage(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, l, asJSON)
+	case "ablations":
+		for _, runA := range []func(experiments.Config) (experiments.Ablation, error){
+			experiments.RunAblationOptgenVsBelady,
+			experiments.RunAblationOrderedVsUnordered,
+			experiments.RunAblationThreshold,
+			experiments.RunAblationTableSize,
+			experiments.RunAblationHistoryLen,
+		} {
+			a, err := runA(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, a, asJSON); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

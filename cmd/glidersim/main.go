@@ -1,0 +1,136 @@
+// Command glidersim runs a memory-access trace through the simulated cache
+// hierarchy under a chosen replacement policy and reports miss rates and
+// (optionally) timing results.
+//
+// Usage:
+//
+//	glidersim -bench omnetpp -policy glider -accesses 1000000 [-timing]
+//	glidersim -trace trace.bin -policy hawkeye
+//
+// Traces can come from a built-in synthetic benchmark (-bench) or from a
+// file written by tracegen (-trace, binary or text format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glider/internal/cpu"
+	"glider/internal/dram"
+	"glider/internal/policy"
+	"glider/internal/trace"
+	"glider/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (see -list)")
+	traceFile := flag.String("trace", "", "trace file to replay (binary, text, or gzip)")
+	champsim := flag.String("champsim", "", "ChampSim instruction trace to replay (raw or .gz)")
+	maxAccesses := flag.Int("max-accesses", 0, "with -champsim: cap the imported accesses (0 = all)")
+	policyName := flag.String("policy", "glider", "replacement policy")
+	accesses := flag.Int("accesses", 1_000_000, "synthetic trace length")
+	seed := flag.Int64("seed", 42, "synthetic trace seed")
+	cores := flag.Int("cores", 1, "number of cores (multi-core shares an 8 MB LLC)")
+	timing := flag.Bool("timing", false, "run the full timing model and report IPC")
+	warmupFrac := flag.Float64("warmup", 0.2, "fraction of the trace used for warmup")
+	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		pols := make([]string, 0, len(policy.Registry))
+		for name := range policy.Registry {
+			pols = append(pols, name)
+		}
+		fmt.Println("policies:", strings.Join(pols, " "))
+		return
+	}
+
+	tr, err := loadTrace(*bench, *traceFile, *champsim, *accesses, *maxAccesses, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := cpu.BuildHierarchy(*cores, *policyName)
+	if err != nil {
+		fatal(err)
+	}
+	warmup := int(float64(tr.Len()) * *warmupFrac)
+
+	if *timing {
+		dcfg := dram.SingleCoreConfig()
+		if *cores > 1 {
+			dcfg = dram.QuadCoreConfig()
+		}
+		res, err := cpu.Run(tr, h, dram.New(dcfg), cpu.DefaultCoreConfig(), warmup)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace        %s (%d accesses, %d warmup)\n", tr.Name, tr.Len(), warmup)
+		fmt.Printf("policy       %s\n", *policyName)
+		fmt.Printf("IPC          %.3f\n", res.IPC)
+		for c, ipc := range res.PerCoreIPC {
+			if len(res.PerCoreIPC) > 1 {
+				fmt.Printf("  core %d IPC %.3f\n", c, ipc)
+			}
+		}
+		fmt.Printf("LLC          %d accesses, %.1f%% miss\n", res.LLC.Accesses, res.LLC.MissRate()*100)
+		fmt.Printf("DRAM         %d reads, %d writes, avg read latency %.0f cycles\n",
+			res.DRAM.Reads, res.DRAM.Writes, res.DRAM.AverageReadLatency())
+		return
+	}
+
+	res, err := cpu.RunFunctional(tr, h, warmup, false)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace        %s (%d accesses, %d warmup)\n", tr.Name, tr.Len(), warmup)
+	fmt.Printf("policy       %s\n", *policyName)
+	fmt.Printf("LLC          %d accesses, %d hits, %d misses (%.1f%% miss)\n",
+		res.LLC.Accesses, res.LLC.Hits, res.LLC.Misses, res.LLC.MissRate()*100)
+	fmt.Printf("evictions    %d (%d writebacks, %d bypasses)\n", res.LLC.Evictions, res.LLC.Writebacks, res.LLC.Bypasses)
+}
+
+func loadTrace(bench, file, champsim string, accesses, maxAccesses int, seed int64) (*trace.Trace, error) {
+	sources := 0
+	for _, s := range []string{bench, file, champsim} {
+		if s != "" {
+			sources++
+		}
+	}
+	switch {
+	case sources > 1:
+		return nil, fmt.Errorf("glidersim: -bench, -trace and -champsim are mutually exclusive")
+	case champsim != "":
+		f, err := os.Open(champsim)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(champsim, ".gz") {
+			return trace.ReadChampSimGzip(f, champsim, maxAccesses)
+		}
+		return trace.ReadChampSim(f, champsim, maxAccesses)
+	case bench != "":
+		spec, err := workload.Lookup(bench)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(accesses, seed), nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadAuto(f)
+	default:
+		return nil, fmt.Errorf("glidersim: one of -bench, -trace or -champsim is required (see -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glidersim:", err)
+	os.Exit(1)
+}

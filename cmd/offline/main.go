@@ -1,0 +1,89 @@
+// Command offline trains and evaluates the paper's offline models on a
+// benchmark: Hawkeye's counters, the ordered-history Perceptron baseline,
+// the offline ISVM, and the attention-based LSTM (§5.2).
+//
+// Usage:
+//
+//	offline -bench omnetpp -accesses 600000 -models lstm,isvm
+//	offline -bench mcf -models all -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"glider/internal/offline"
+	"glider/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "omnetpp", "benchmark name")
+	accesses := flag.Int("accesses", 600_000, "trace length")
+	seed := flag.Int64("seed", 42, "trace seed")
+	models := flag.String("models", "all", "comma-separated: hawkeye,perceptron,isvm,lstm,all")
+	epochs := flag.Int("epochs", 3, "training epochs for linear models")
+	k := flag.Int("k", 5, "unique-PC history length for the ISVM")
+	hist := flag.Int("h", 3, "ordered history length for the Perceptron")
+	lstmLen := flag.Int("lstm-n", 30, "LSTM sequence warmup length N")
+	lstmEpochs := flag.Int("lstm-epochs", 10, "LSTM training epochs")
+	flag.Parse()
+
+	spec, err := workload.Lookup(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("building dataset for %s (%d accesses)...\n", spec.Name, *accesses)
+	start := time.Now()
+	d, err := offline.BuildDataset(spec, *accesses, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset: %d LLC accesses, %d PCs, %.1f%% cache-friendly (built in %v)\n",
+		d.Len(), len(d.Vocab), d.FriendlyFraction()*100, time.Since(start).Round(time.Millisecond))
+
+	want := map[string]bool{}
+	for _, m := range strings.Split(*models, ",") {
+		want[strings.TrimSpace(m)] = true
+	}
+	all := want["all"]
+
+	if all || want["hawkeye"] {
+		_, res := offline.TrainHawkeyeOffline(d, *epochs)
+		report("hawkeye (per-PC counters)", res)
+	}
+	if all || want["perceptron"] {
+		_, res := offline.TrainOrderedSVMOffline(d, *hist, *epochs)
+		report(fmt.Sprintf("perceptron (ordered history h=%d)", *hist), res)
+	}
+	if all || want["isvm"] {
+		_, res := offline.TrainISVMOffline(d, *k, *epochs)
+		report(fmt.Sprintf("offline ISVM (unique PCs k=%d)", *k), res)
+	}
+	if all || want["lstm"] {
+		opts := offline.DefaultLSTMOptions()
+		opts.HistoryLen = *lstmLen
+		opts.Epochs = *lstmEpochs
+		start = time.Now()
+		_, res, err := offline.TrainLSTM(d, opts)
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("attention LSTM (N=%d, %v)", *lstmLen, time.Since(start).Round(time.Second)), res)
+	}
+}
+
+func report(name string, res offline.TrainResult) {
+	fmt.Printf("%-45s accuracy %.1f%%  (per epoch:", name, res.FinalAccuracy()*100)
+	for _, a := range res.EpochAccuracy {
+		fmt.Printf(" %.1f", a*100)
+	}
+	fmt.Println(")")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "offline:", err)
+	os.Exit(1)
+}

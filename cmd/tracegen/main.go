@@ -1,0 +1,105 @@
+// Command tracegen generates synthetic benchmark traces and inspects trace
+// files.
+//
+// Usage:
+//
+//	tracegen -bench mcf -accesses 1000000 -o mcf.trace        # binary
+//	tracegen -bench mcf -accesses 1000 -text -o mcf.txt       # text
+//	tracegen -stats mcf.trace                                 # Table 2 row
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glider/internal/trace"
+	"glider/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to generate")
+	accesses := flag.Int("accesses", 1_000_000, "trace length")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	text := flag.Bool("text", false, "write the text format instead of binary")
+	gz := flag.Bool("gzip", false, "gzip-compress the binary output")
+	champsim := flag.Bool("champsim", false, "write ChampSim instruction-record format")
+	statsFile := flag.String("stats", "", "print statistics for an existing trace file")
+	reuse := flag.Bool("reuse", false, "with -stats: also print the reuse-distance profile")
+	list := flag.Bool("list", false, "list benchmark names, then exit")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range workload.All() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Suite)
+		}
+	case *statsFile != "":
+		if err := printStats(*statsFile, *reuse); err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		if err := generate(*bench, *accesses, *seed, *out, *text, *gz, *champsim); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracegen -bench <name> [-accesses N] [-seed N] [-text] [-o file] | -stats file | -list")
+		os.Exit(2)
+	}
+}
+
+func generate(bench string, accesses int, seed int64, out string, text, gz, champsim bool) error {
+	spec, err := workload.Lookup(bench)
+	if err != nil {
+		return err
+	}
+	tr := spec.Generate(accesses, seed)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case champsim:
+		return trace.WriteChampSim(w, tr)
+	case text:
+		return trace.WriteText(w, tr)
+	case gz:
+		return trace.WriteBinaryGzip(w, tr)
+	default:
+		return trace.WriteBinary(w, tr)
+	}
+}
+
+func printStats(file string, reuse bool) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadAuto(f)
+	if err != nil {
+		return err
+	}
+	s := tr.Summarize()
+	fmt.Printf("%-12s accesses=%d PCs=%d addrs=%d acc/PC=%.1f acc/addr=%.1f\n",
+		s.Name, s.Accesses, s.PCs, s.Addrs, s.AccessesPerPC, s.AccessesPerAddr)
+	if reuse {
+		p := trace.ReuseDistances(tr, false)
+		p.Render(os.Stdout)
+		fmt.Printf("  captured by L2 (4096 blocks):   %5.1f%%\n", p.CapturedBy(4096)*100)
+		fmt.Printf("  captured by LLC (32768 blocks): %5.1f%%\n", p.CapturedBy(32768)*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

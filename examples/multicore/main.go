@@ -1,0 +1,65 @@
+// Multi-core: four benchmarks share an 8 MB LLC (the paper's Figure 13
+// setting). We compute each policy's weighted speedup over LRU for a few
+// mixes using the §5.1 methodology.
+//
+//	go run ./examples/multicore
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"glider/internal/cpu"
+	"glider/internal/stats"
+	"glider/internal/workload"
+)
+
+func main() {
+	const perCore = 150_000
+	policies := []string{"hawkeye", "ship++", "glider"}
+	mixes := workload.Mixes(4, 4, 42)
+
+	fmt.Println("4-core mixes, shared 8 MB LLC — weighted speedup over LRU (%)")
+	fmt.Printf("%-44s", "mix")
+	for _, p := range policies {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println()
+
+	improvements := map[string][]float64{}
+	for _, mix := range mixes {
+		label := ""
+		for i, m := range mix.Members {
+			if i > 0 {
+				label += "+"
+			}
+			label += m.Name
+		}
+		if len(label) > 42 {
+			label = label[:42]
+		}
+		lru, err := cpu.WeightedSpeedup(mix, "lru", perCore, 42)
+		check(err)
+		fmt.Printf("%-44s", label)
+		for _, pol := range policies {
+			ws, err := cpu.WeightedSpeedup(mix, pol, perCore, 42)
+			check(err)
+			imp := 100 * (ws - lru) / lru
+			improvements[pol] = append(improvements[pol], imp)
+			fmt.Printf(" %8.1f%%", imp)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-44s", "average")
+	for _, pol := range policies {
+		fmt.Printf(" %8.1f%%", stats.Mean(improvements[pol]))
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Policy comparison: run three representative workload classes from the
+// paper's evaluation — a pointer-chasing SPEC-style benchmark (mcf), a
+// control-flow-dependent one (omnetpp), and a graph workload (bfs) —
+// through the full cache hierarchy under every major replacement policy.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"glider/internal/cpu"
+	"glider/internal/workload"
+)
+
+func main() {
+	const accesses = 400_000
+	policies := []string{"lru", "drrip", "ship++", "mpppb", "hawkeye", "glider"}
+	benchmarks := []string{"mcf", "omnetpp", "bfs"}
+
+	fmt.Printf("%-10s", "benchmark")
+	for _, p := range policies {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println("   (LLC miss rate)")
+
+	for _, name := range benchmarks {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s", name)
+		for _, pol := range policies {
+			mr, err := cpu.SingleCoreMissRate(spec, pol, accesses, 42)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %8.1f%%", mr*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nTiming model (IPC, higher is better):")
+	fmt.Printf("%-10s", "benchmark")
+	for _, p := range policies {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println()
+	for _, name := range benchmarks {
+		spec, _ := workload.Lookup(name)
+		fmt.Printf("%-10s", name)
+		for _, pol := range policies {
+			res, err := cpu.SingleCore(spec, pol, accesses, 42)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %9.3f", res.IPC)
+		}
+		fmt.Println()
+	}
+}

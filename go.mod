@@ -1,0 +1,3 @@
+module glider
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package cache implements a set-associative cache model with pluggable
+// replacement policies, plus the three-level hierarchy of Table 1 in the
+// paper (32 KB L1, 256 KB L2, 2 MB-per-core LLC).
+//
+// The replacement policy controls victim selection and receives an update
+// callback on every access, mirroring the interface of the Cache Replacement
+// Championship (CRC2) simulator the paper evaluates with.
+package cache
+
+import (
+	"fmt"
+
+	"glider/internal/trace"
+)
+
+// Bypass is returned by a policy's Victim method to indicate the incoming
+// line should not be cached at all.
+const Bypass = -1
+
+// Line is the policy-visible state of one cache line.
+type Line struct {
+	// Valid reports whether the line holds data.
+	Valid bool
+	// Dirty reports whether the line has been written.
+	Dirty bool
+	// Tag is the block address stored in the line.
+	Tag uint64
+	// PC is the program counter that inserted or last touched the line.
+	PC uint64
+	// Core is the core that inserted the line.
+	Core uint8
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	// Hit reports whether the block was present.
+	Hit bool
+	// Set and Way locate the line that was hit or filled. Way is Bypass if
+	// the policy chose not to cache the line.
+	Set, Way int
+	// Evicted reports whether a valid line was evicted to make room.
+	Evicted bool
+	// EvictedLine is the displaced line when Evicted is true.
+	EvictedLine Line
+	// WritebackNeeded reports whether the evicted line was dirty.
+	WritebackNeeded bool
+}
+
+// Policy decides replacement for one cache. Implementations live in the
+// policy package; the interface is defined here to avoid an import cycle.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Victim selects the way to evict from the given set to make room for
+	// block, or Bypass to not cache it. lines has one entry per way.
+	Victim(set int, pc, block uint64, core uint8, lines []Line) int
+	// Update is invoked after every access: on a hit, way is the hit way;
+	// on a fill, way is the filled way (or Bypass when the line was
+	// bypassed).
+	Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind)
+}
+
+// Stats aggregates cache access counters, overall and per core.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Bypasses   uint64
+	PerCore    [8]struct {
+		Accesses, Hits, Misses uint64
+	}
+}
+
+// MissRate returns Misses/Accesses (0 for an unused cache).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Config sizes a cache.
+type Config struct {
+	// Name labels the cache ("L1D", "L2", "LLC").
+	Name string
+	// Sets is the number of sets (power of two).
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// LatencyCycles is the hit latency used by the timing model.
+	LatencyCycles int
+}
+
+// Lines returns the total line count.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// SizeBytes returns the cache capacity in bytes.
+func (c Config) SizeBytes() int { return c.Lines() * trace.BlockSize }
+
+// Standard configurations from Table 1 of the paper (64-byte blocks).
+var (
+	// L1DConfig is the 32 KB, 8-way, 4-cycle L1 data cache.
+	L1DConfig = Config{Name: "L1D", Sets: 64, Ways: 8, LatencyCycles: 4}
+	// L2Config is the 256 KB, 8-way, 12-cycle L2 cache.
+	L2Config = Config{Name: "L2", Sets: 512, Ways: 8, LatencyCycles: 12}
+	// LLCConfig is the 2 MB, 16-way, 26-cycle per-core LLC slice.
+	LLCConfig = Config{Name: "LLC", Sets: 2048, Ways: 16, LatencyCycles: 26}
+	// SharedLLCConfig4 is the 8 MB LLC shared by 4 cores (Figure 13).
+	SharedLLCConfig4 = Config{Name: "LLC", Sets: 8192, Ways: 16, LatencyCycles: 26}
+)
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg    Config
+	policy Policy
+	sets   [][]Line
+	stats  Stats
+}
+
+// New builds a cache with the given geometry and replacement policy.
+func New(cfg Config, p Policy) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways must be positive, got %d", cfg.Name, cfg.Ways)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("cache %s: nil policy", cfg.Name)
+	}
+	c := &Cache{cfg: cfg, policy: p}
+	c.sets = make([][]Line, cfg.Sets)
+	backing := make([]Line, cfg.Sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration error; for use with the
+// package-level constant configs.
+func MustNew(cfg Config, p Policy) *Cache {
+	c, err := New(cfg, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (used after cache warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetIndex maps a block address to its set.
+func (c *Cache) SetIndex(block uint64) int { return int(block & uint64(c.cfg.Sets-1)) }
+
+// Lookup reports whether block is present without updating any state.
+func (c *Cache) Lookup(block uint64) bool {
+	set := c.SetIndex(block)
+	for _, l := range c.sets[set] {
+		if l.Valid && l.Tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs one access. On a miss the line is filled (subject to the
+// policy's bypass decision) and the displaced line, if any, is reported.
+func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResult {
+	set := c.SetIndex(block)
+	lines := c.sets[set]
+	c.stats.Accesses++
+	if int(core) < len(c.stats.PerCore) {
+		c.stats.PerCore[core].Accesses++
+	}
+
+	for w := range lines {
+		if lines[w].Valid && lines[w].Tag == block {
+			c.stats.Hits++
+			if int(core) < len(c.stats.PerCore) {
+				c.stats.PerCore[core].Hits++
+			}
+			if kind == trace.Store || kind == trace.Writeback {
+				lines[w].Dirty = true
+			}
+			lines[w].PC = pc
+			c.policy.Update(set, w, pc, block, core, true, kind)
+			return AccessResult{Hit: true, Set: set, Way: w}
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if int(core) < len(c.stats.PerCore) {
+		c.stats.PerCore[core].Misses++
+	}
+
+	// Prefer an invalid way before consulting the policy.
+	way := Bypass
+	for w := range lines {
+		if !lines[w].Valid {
+			way = w
+			break
+		}
+	}
+	res := AccessResult{Set: set, Way: way}
+	if way == Bypass {
+		way = c.policy.Victim(set, pc, block, core, lines)
+		res.Way = way
+		if way == Bypass {
+			c.stats.Bypasses++
+			c.policy.Update(set, Bypass, pc, block, core, false, kind)
+			return res
+		}
+		if way < 0 || way >= len(lines) {
+			panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.cfg.Name, c.policy.Name(), way))
+		}
+		if lines[way].Valid {
+			c.stats.Evictions++
+			res.Evicted = true
+			res.EvictedLine = lines[way]
+			if lines[way].Dirty {
+				c.stats.Writebacks++
+				res.WritebackNeeded = true
+			}
+		}
+	}
+	lines[way] = Line{
+		Valid: true,
+		Dirty: kind == trace.Store || kind == trace.Writeback,
+		Tag:   block,
+		PC:    pc,
+		Core:  core,
+	}
+	c.policy.Update(set, way, pc, block, core, false, kind)
+	return res
+}
+
+// Flush invalidates every line (without policy notifications).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = Line{}
+		}
+	}
+}
+
+// Occupancy returns the fraction of valid lines, for diagnostics.
+func (c *Cache) Occupancy() float64 {
+	valid := 0
+	for s := range c.sets {
+		for _, l := range c.sets[s] {
+			if l.Valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(c.cfg.Lines())
+}

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"testing"
+
+	"glider/internal/trace"
+)
+
+// lruTest is a tiny true-LRU policy used to drive the hierarchy in tests.
+type lruTest struct {
+	stamp [][]uint64
+	clock uint64
+}
+
+func newLRUTest(sets, ways int) *lruTest {
+	l := &lruTest{stamp: make([][]uint64, sets)}
+	for i := range l.stamp {
+		l.stamp[i] = make([]uint64, ways)
+	}
+	return l
+}
+
+func (l *lruTest) Name() string { return "lru-test" }
+func (l *lruTest) Victim(set int, pc, block uint64, core uint8, lines []Line) int {
+	victim, oldest := 0, ^uint64(0)
+	for w := range lines {
+		if l.stamp[set][w] < oldest {
+			oldest = l.stamp[set][w]
+			victim = w
+		}
+	}
+	return victim
+}
+func (l *lruTest) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	l.clock++
+	if way >= 0 {
+		l.stamp[set][way] = l.clock
+	}
+}
+
+func testHierarchy(t *testing.T, cores int) *Hierarchy {
+	t.Helper()
+	upper := func(sets, ways int) Policy { return newLRUTest(sets, ways) }
+	cfg := LLCConfig
+	if cores > 1 {
+		cfg = SharedLLCConfig4
+	}
+	h, err := NewHierarchy(cores, cfg, newLRUTest(cfg.Sets, cfg.Ways), upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyL1Hit(t *testing.T) {
+	h := testHierarchy(t, 1)
+	a := trace.Access{PC: 1, Addr: 0x1000, Kind: trace.Load}
+	r1 := h.Access(a)
+	if r1.HitLevel != LevelDRAM || !r1.LLCAccessed || r1.LLCHit {
+		t.Fatalf("cold access: %+v", r1)
+	}
+	r2 := h.Access(a)
+	if r2.HitLevel != LevelL1 || r2.LLCAccessed {
+		t.Fatalf("warm access: %+v", r2)
+	}
+}
+
+func TestHierarchyFillsAllLevels(t *testing.T) {
+	h := testHierarchy(t, 1)
+	a := trace.Access{PC: 1, Addr: 0x2000, Kind: trace.Load}
+	h.Access(a)
+	if !h.L1(0).Lookup(a.Block()) || !h.L2(0).Lookup(a.Block()) || !h.LLC().Lookup(a.Block()) {
+		t.Fatal("miss did not fill all levels")
+	}
+}
+
+func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
+	h := testHierarchy(t, 1)
+	// Fill a whole L1 set (64 sets × 8 ways): blocks mapping to L1 set 0
+	// differ by 64 blocks.
+	base := uint64(0)
+	for i := 0; i < 9; i++ {
+		h.Access(trace.Access{PC: 1, Addr: (base + uint64(i)*64) << trace.BlockShift, Kind: trace.Load})
+	}
+	// First block evicted from L1 but still in L2.
+	r := h.Access(trace.Access{PC: 1, Addr: base << trace.BlockShift, Kind: trace.Load})
+	if r.HitLevel != LevelL2 {
+		t.Fatalf("hit level = %v, want L2", r.HitLevel)
+	}
+}
+
+func TestHierarchyLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelDRAM.String() != "DRAM" {
+		t.Fatal("Level.String mismatch")
+	}
+}
+
+func TestHierarchyCores(t *testing.T) {
+	h := testHierarchy(t, 4)
+	if h.Cores() != 4 {
+		t.Fatalf("cores = %d", h.Cores())
+	}
+	// Each core's L1 is private: core 0's fill is invisible to core 1's L1.
+	a := trace.Access{PC: 1, Addr: 0x3000, Core: 0, Kind: trace.Load}
+	h.Access(a)
+	b := a
+	b.Core = 1
+	r := h.Access(b)
+	if r.HitLevel == LevelL1 {
+		t.Fatal("core 1 hit in core 0's L1")
+	}
+	if r.HitLevel != LevelLLC {
+		t.Fatalf("core 1 should hit the shared LLC, got %v", r.HitLevel)
+	}
+}
+
+func TestHierarchyInvalidCores(t *testing.T) {
+	upper := func(sets, ways int) Policy { return newLRUTest(sets, ways) }
+	if _, err := NewHierarchy(0, LLCConfig, newLRUTest(2048, 16), upper); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h := testHierarchy(t, 1)
+	h.Access(trace.Access{PC: 1, Addr: 0x1000, Kind: trace.Load})
+	h.ResetStats()
+	if h.LLC().Stats().Accesses != 0 || h.L1(0).Stats().Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestWritebackPropagation(t *testing.T) {
+	h := testHierarchy(t, 1)
+	// Dirty a line in L1, then evict it by filling the L1 set: the dirty
+	// data must land in L2 as a writeback (dirtying the L2 copy).
+	victim := trace.Access{PC: 1, Addr: 0, Kind: trace.Store}
+	h.Access(victim)
+	for i := 1; i <= 8; i++ {
+		h.Access(trace.Access{PC: 1, Addr: uint64(i) * 64 << trace.BlockShift, Kind: trace.Load})
+	}
+	// The L2 copy should now be dirty: evicting it from L2 must produce an
+	// LLC writeback access. We verify indirectly: L2 still holds the block.
+	if !h.L2(0).Lookup(victim.Block()) {
+		t.Fatal("dirty victim lost from L2")
+	}
+}

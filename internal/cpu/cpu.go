@@ -1,0 +1,233 @@
+// Package cpu provides the processor timing model used to turn cache
+// behaviour into performance numbers: a trace-driven core with a
+// ROB-limited memory-level-parallelism window, the Table 1 cache latencies,
+// and the dram package's bandwidth model. It also provides the functional
+// (timing-free) runner used for miss-rate and predictor-accuracy studies,
+// and the weighted-speedup methodology of §5.1 for multi-core runs.
+package cpu
+
+import (
+	"fmt"
+
+	"glider/internal/cache"
+	"glider/internal/dram"
+	"glider/internal/trace"
+)
+
+// CoreConfig parameterizes the core model (§5.1: 4-wide OOO, 8-stage,
+// 128-entry ROB).
+type CoreConfig struct {
+	// Width is the issue width.
+	Width int
+	// ROBSize is the reorder-buffer capacity in instructions.
+	ROBSize int
+	// InstrPerAccess is the average number of instructions between memory
+	// accesses in the trace (traces record only memory accesses).
+	InstrPerAccess float64
+	// MSHRs bounds outstanding DRAM misses per core.
+	MSHRs int
+}
+
+// DefaultCoreConfig matches the paper's simulated core.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{Width: 4, ROBSize: 128, InstrPerAccess: 8, MSHRs: 16}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Cycles is the total execution time in CPU cycles.
+	Cycles float64
+	// Instructions is the modeled instruction count.
+	Instructions float64
+	// IPC is Instructions / Cycles.
+	IPC float64
+	// PerCoreIPC is the per-core IPC for multi-core runs.
+	PerCoreIPC []float64
+	// LLC is the post-warmup LLC statistics.
+	LLC cache.Stats
+	// DRAM is the post-warmup DRAM statistics.
+	DRAM dram.Stats
+}
+
+// coreState tracks one core's in-flight accesses.
+type coreState struct {
+	clock       float64   // next issue cycle
+	completions []float64 // ring of recent access completion times (ROB)
+	robHead     int
+	dramRing    []float64 // ring of recent DRAM completion times (MSHRs)
+	dramHead    int
+	accesses    float64
+	finish      float64
+}
+
+func newCoreState(cfg CoreConfig) *coreState {
+	robWindow := int(float64(cfg.ROBSize)/cfg.InstrPerAccess + 0.5)
+	if robWindow < 1 {
+		robWindow = 1
+	}
+	return &coreState{
+		completions: make([]float64, robWindow),
+		dramRing:    make([]float64, cfg.MSHRs),
+	}
+}
+
+// Run executes the trace against the hierarchy with full timing. The first
+// warmup accesses train caches and predictors without counting toward the
+// reported statistics. The hierarchy must have at least as many cores as
+// the trace references.
+func Run(t *trace.Trace, h *cache.Hierarchy, d *dram.DRAM, cfg CoreConfig, warmup int) (Result, error) {
+	if warmup < 0 || warmup > t.Len() {
+		return Result{}, fmt.Errorf("cpu: warmup %d out of range for trace of %d accesses", warmup, t.Len())
+	}
+	cores := make([]*coreState, h.Cores())
+	for i := range cores {
+		cores[i] = newCoreState(cfg)
+	}
+	cyclesPerAccess := cfg.InstrPerAccess / float64(cfg.Width)
+
+	measuring := false
+	var measureStart []float64
+	var measureAccesses []float64
+
+	for i, a := range t.Accesses {
+		if !measuring && i >= warmup {
+			measuring = true
+			h.ResetStats()
+			measureStart = make([]float64, len(cores))
+			measureAccesses = make([]float64, len(cores))
+			for c, cs := range cores {
+				measureStart[c] = cs.clock
+			}
+		}
+		core := int(a.Core)
+		if core >= len(cores) {
+			core = 0
+			a.Core = 0
+		}
+		cs := cores[core]
+
+		res := h.Access(a)
+
+		// Issue time: front-end pace plus ROB back-pressure from the access
+		// that must retire to free the slot.
+		issue := cs.clock
+		if old := cs.completions[cs.robHead]; old > issue {
+			issue = old
+		}
+
+		var done float64
+		switch res.HitLevel {
+		case cache.LevelL1:
+			done = issue + float64(cache.L1DConfig.LatencyCycles)
+		case cache.LevelL2:
+			done = issue + float64(cache.L1DConfig.LatencyCycles+cache.L2Config.LatencyCycles)
+		case cache.LevelLLC:
+			done = issue + float64(cache.L1DConfig.LatencyCycles+cache.L2Config.LatencyCycles+h.LLC().Config().LatencyCycles)
+		default: // DRAM
+			reqStart := issue + float64(cache.L1DConfig.LatencyCycles+cache.L2Config.LatencyCycles+h.LLC().Config().LatencyCycles)
+			// MSHR limit: wait for the oldest outstanding DRAM miss.
+			if old := cs.dramRing[cs.dramHead]; old > reqStart {
+				reqStart = old
+			}
+			done = d.Access(a.Block(), false, reqStart)
+			cs.dramRing[cs.dramHead] = done
+			cs.dramHead = (cs.dramHead + 1) % len(cs.dramRing)
+		}
+		if res.DRAMWriteback {
+			d.Access(res.WritebackBlock, true, done)
+		}
+
+		cs.completions[cs.robHead] = done
+		cs.robHead = (cs.robHead + 1) % len(cs.completions)
+		cs.clock = issue + cyclesPerAccess
+		if done > cs.finish {
+			cs.finish = done
+		}
+		if measuring {
+			measureAccesses[core]++
+		}
+		cs.accesses++
+	}
+
+	var out Result
+	out.PerCoreIPC = make([]float64, len(cores))
+	var totalInstr, maxCycles float64
+	for c, cs := range cores {
+		cycles := cs.finish
+		if measuring {
+			cycles -= measureStart[c]
+		}
+		if cycles <= 0 {
+			cycles = 1
+		}
+		instr := measureAccesses[c] * cfg.InstrPerAccess
+		out.PerCoreIPC[c] = instr / cycles
+		totalInstr += instr
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+	}
+	out.Cycles = maxCycles
+	out.Instructions = totalInstr
+	if maxCycles > 0 {
+		out.IPC = totalInstr / maxCycles
+	}
+	out.LLC = h.LLC().Stats()
+	out.DRAM = d.Stats()
+	return out, nil
+}
+
+// FunctionalResult reports a timing-free run.
+type FunctionalResult struct {
+	// LLC is the post-warmup LLC statistics.
+	LLC cache.Stats
+	// LLCStream is the post-warmup sequence of accesses that reached the
+	// LLC (the stream replacement predictors operate on), when requested.
+	LLCStream *trace.Trace
+	// Predictions records, for each LLCStream access, the policy's
+	// friendly/averse prediction at access time, when the policy exposes
+	// one.
+	Predictions []bool
+}
+
+// FriendlyPredictor is implemented by policies whose predictor can be
+// queried for a cache-friendly/averse classification (Hawkeye, Glider) —
+// used by the Figure 10 accuracy experiment.
+type FriendlyPredictor interface {
+	PredictFriendly(pc uint64, core uint8) bool
+}
+
+// RunFunctional executes the trace without timing, optionally collecting
+// the LLC access stream and per-access predictions.
+func RunFunctional(t *trace.Trace, h *cache.Hierarchy, warmup int, collect bool) (FunctionalResult, error) {
+	if warmup < 0 || warmup > t.Len() {
+		return FunctionalResult{}, fmt.Errorf("cpu: warmup %d out of range for trace of %d accesses", warmup, t.Len())
+	}
+	var out FunctionalResult
+	predictor, hasPredictor := h.LLC().Policy().(FriendlyPredictor)
+	if collect {
+		out.LLCStream = trace.New(t.Name+".llc", t.Len()/2)
+	}
+	for i, a := range t.Accesses {
+		if i == warmup {
+			h.ResetStats()
+		}
+		core := int(a.Core)
+		if core >= h.Cores() {
+			a.Core = 0
+		}
+		var predicted bool
+		if collect && hasPredictor {
+			predicted = predictor.PredictFriendly(a.PC, a.Core)
+		}
+		res := h.Access(a)
+		if collect && res.LLCAccessed && i >= warmup {
+			out.LLCStream.Append(a)
+			if hasPredictor {
+				out.Predictions = append(out.Predictions, predicted)
+			}
+		}
+	}
+	out.LLC = h.LLC().Stats()
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"fmt"
+
+	"glider/internal/cache"
+	"glider/internal/dram"
+	"glider/internal/policy"
+	"glider/internal/trace"
+	"glider/internal/workload"
+)
+
+// BuildHierarchy constructs the Table 1 hierarchy with the named LLC
+// replacement policy (upper levels always use LRU). For cores > 1 the LLC
+// is the shared 8 MB configuration.
+func BuildHierarchy(cores int, policyName string) (*cache.Hierarchy, error) {
+	llcCfg := cache.LLCConfig
+	if cores > 1 {
+		llcCfg = cache.SharedLLCConfig4
+	}
+	p, ok := policy.New(policyName, llcCfg.Sets, llcCfg.Ways)
+	if !ok {
+		return nil, fmt.Errorf("cpu: unknown policy %q", policyName)
+	}
+	upper := func(sets, ways int) cache.Policy { return policy.NewLRU(sets, ways) }
+	return cache.NewHierarchy(cores, llcCfg, p, upper)
+}
+
+// SingleCore runs one benchmark with one policy and full timing, warming up
+// on the first fifth of the trace (mirroring the paper's 200M-of-1B warmup).
+func SingleCore(spec workload.Spec, policyName string, accesses int, seed int64) (Result, error) {
+	t := spec.Generate(accesses, seed)
+	h, err := BuildHierarchy(1, policyName)
+	if err != nil {
+		return Result{}, err
+	}
+	d := dram.New(dram.SingleCoreConfig())
+	return Run(t, h, d, DefaultCoreConfig(), accesses/5)
+}
+
+// SingleCoreMissRate runs one benchmark functionally and returns the LLC
+// miss rate (Figure 11's underlying metric).
+func SingleCoreMissRate(spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
+	t := spec.Generate(accesses, seed)
+	h, err := BuildHierarchy(1, policyName)
+	if err != nil {
+		return 0, err
+	}
+	res, err := RunFunctional(t, h, accesses/5, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.LLC.MissRate(), nil
+}
+
+// MultiCore runs a workload mix on a shared LLC with full timing and
+// returns the per-core IPCs.
+func MultiCore(mix workload.Mix, policyName string, accessesPerCore int, seed int64) (Result, error) {
+	cores := len(mix.Members)
+	perCore := make([]*trace.Trace, cores)
+	for i, spec := range mix.Members {
+		perCore[i] = spec.Generate(accessesPerCore, seed+int64(i))
+	}
+	merged := trace.Interleave(fmt.Sprintf("mix%d", mix.ID), perCore...)
+	h, err := BuildHierarchy(cores, policyName)
+	if err != nil {
+		return Result{}, err
+	}
+	d := dram.New(dram.QuadCoreConfig())
+	return Run(merged, h, d, DefaultCoreConfig(), merged.Len()/5)
+}
+
+// SoloOnShared runs one benchmark alone on the multi-core configuration
+// (shared LLC geometry and 12.8 GB/s DRAM): the IPCsingle baseline of §5.1,
+// which is defined as "executing in isolation on the same cache".
+func SoloOnShared(spec workload.Spec, cores int, policyName string, accesses int, seed int64) (Result, error) {
+	t := spec.Generate(accesses, seed)
+	h, err := BuildHierarchy(cores, policyName)
+	if err != nil {
+		return Result{}, err
+	}
+	d := dram.New(dram.QuadCoreConfig())
+	return Run(t, h, d, DefaultCoreConfig(), accesses/5)
+}
+
+// WeightedSpeedup computes the §5.1 weighted-IPC metric for a mix under one
+// policy: Σ_i IPCshared_i / IPCsingle_i, where IPCsingle_i is benchmark i
+// running alone on the same shared cache with the same policy.
+func WeightedSpeedup(mix workload.Mix, policyName string, accessesPerCore int, seed int64) (float64, error) {
+	shared, err := MultiCore(mix, policyName, accessesPerCore, seed)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i, spec := range mix.Members {
+		solo, err := SoloOnShared(spec, len(mix.Members), policyName, accessesPerCore, seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		if solo.IPC <= 0 {
+			return 0, fmt.Errorf("cpu: zero single-core IPC for %s", spec.Name)
+		}
+		sum += shared.PerCoreIPC[i] / solo.IPC
+	}
+	return sum, nil
+}

@@ -1,0 +1,122 @@
+// Package dram models the main-memory timing of Table 1: an 800 MHz DDR
+// interface with tRP = tRCD = tCAS = 24 memory cycles, 3.2 GB/s of bandwidth
+// for the single-core configuration and 12.8 GB/s for the 4-core one.
+//
+// The model is deliberately first-order: per-bank row-buffer state gives
+// row hits a CAS-only latency and row conflicts the full
+// precharge+activate+CAS penalty, and a shared data bus enforces the
+// configured bandwidth by spacing transfer completions.
+package dram
+
+import "glider/internal/trace"
+
+// Config parameterizes the memory model. Latencies are expressed in CPU
+// cycles (the CPU model runs at a nominal 3.2 GHz, 4× the 800 MHz memory
+// clock, so each memory-clock parameter counts 4 CPU cycles).
+type Config struct {
+	// Banks is the number of DRAM banks.
+	Banks int
+	// RowBlocks is the number of cache blocks per DRAM row (row size /
+	// block size; 2 KB rows → 32 blocks).
+	RowBlocks uint64
+	// TRP, TRCD, TCAS are the DRAM timing parameters in memory cycles.
+	TRP, TRCD, TCAS int
+	// CPUPerMemCycle converts memory cycles to CPU cycles.
+	CPUPerMemCycle int
+	// BytesPerCycle is the data-bus bandwidth in bytes per CPU cycle.
+	BytesPerCycle float64
+}
+
+// SingleCoreConfig is the paper's single-core DRAM: 3.2 GB/s at a 3.2 GHz
+// core clock is 1 byte per CPU cycle.
+func SingleCoreConfig() Config {
+	return Config{
+		Banks:          8,
+		RowBlocks:      32,
+		TRP:            24,
+		TRCD:           24,
+		TCAS:           24,
+		CPUPerMemCycle: 4,
+		BytesPerCycle:  1.0,
+	}
+}
+
+// QuadCoreConfig is the 4-core DRAM: 12.8 GB/s → 4 bytes per CPU cycle.
+func QuadCoreConfig() Config {
+	c := SingleCoreConfig()
+	c.BytesPerCycle = 4.0
+	return c
+}
+
+// DRAM is the memory timing model. It is not safe for concurrent use; the
+// simulator drives it from a single goroutine.
+type DRAM struct {
+	cfg       Config
+	openRow   []uint64 // per bank; ^0 = closed
+	busFreeAt float64  // CPU cycle when the data bus is next free
+	stats     Stats
+}
+
+// Stats counts DRAM traffic.
+type Stats struct {
+	Reads, Writes         uint64
+	RowHits, RowConflicts uint64
+	TotalLatency          uint64 // sum of read latencies in CPU cycles
+	BusStallCycles        float64
+}
+
+// New builds a DRAM model.
+func New(cfg Config) *DRAM {
+	d := &DRAM{cfg: cfg, openRow: make([]uint64, cfg.Banks)}
+	for i := range d.openRow {
+		d.openRow[i] = ^uint64(0)
+	}
+	return d
+}
+
+// Stats returns the accumulated counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Access services a block read or write beginning no earlier than CPU cycle
+// `now` and returns the cycle at which the data is available (reads) or
+// accepted (writes).
+func (d *DRAM) Access(block uint64, write bool, now float64) float64 {
+	row := block / d.cfg.RowBlocks
+	bank := int(row) % d.cfg.Banks
+
+	memLat := d.cfg.TCAS
+	if d.openRow[bank] == row {
+		d.stats.RowHits++
+	} else {
+		d.stats.RowConflicts++
+		memLat += d.cfg.TRP + d.cfg.TRCD
+		d.openRow[bank] = row
+	}
+	lat := float64(memLat * d.cfg.CPUPerMemCycle)
+
+	// Bus: each block transfer occupies BlockSize/BytesPerCycle cycles.
+	transfer := float64(trace.BlockSize) / d.cfg.BytesPerCycle
+	start := now
+	if d.busFreeAt > start {
+		d.stats.BusStallCycles += d.busFreeAt - start
+		start = d.busFreeAt
+	}
+	done := start + lat + transfer
+	d.busFreeAt = start + transfer
+
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+		d.stats.TotalLatency += uint64(done - now)
+	}
+	return done
+}
+
+// AverageReadLatency returns the mean read latency in CPU cycles.
+func (s Stats) AverageReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Reads)
+}

@@ -1,0 +1,47 @@
+package glider_test
+
+import (
+	"fmt"
+
+	"glider/internal/glider"
+)
+
+// The predictor learns that a callee PC's lines are worth caching only when
+// a particular caller appears in the recent unique-PC history — the exact
+// pattern per-PC predictors cannot express.
+func ExamplePredictor() {
+	p := glider.NewPredictor(glider.DefaultConfig(1))
+
+	const callee = 0x44c7f6
+	friendlyContext := []uint64{0x44e141, 0x400010} // scheduleEndIFGPeriod path
+	averseContext := []uint64{0x44e999, 0x400010}   // other callers
+
+	for i := 0; i < 100; i++ {
+		p.Train(callee, friendlyContext, true)
+		p.Train(callee, averseContext, false)
+	}
+
+	_, friendly := p.Predict(callee, friendlyContext)
+	_, averse := p.Predict(callee, averseContext)
+	fmt.Println("with anchor caller:", friendly != glider.Averse)
+	fmt.Println("with other caller: ", averse != glider.Averse)
+	// Output:
+	// with anchor caller: true
+	// with other caller:  false
+}
+
+// The PC History Register keeps the last k *unique* PCs: duplicates
+// collapse, so the effective control-flow window is much longer than k.
+func ExamplePCHR() {
+	h := glider.NewPCHR(3)
+	h.Observe(100) // a caller marker
+	for i := 0; i < 20; i++ {
+		h.Observe(1) // a tight loop re-issuing one PC
+		h.Observe(2)
+	}
+	fmt.Println("marker survives 40 accesses:", h.Contains(100))
+	fmt.Println("unique entries:", h.Len())
+	// Output:
+	// marker survives 40 accesses: true
+	// unique entries: 3
+}

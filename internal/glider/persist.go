@@ -1,0 +1,64 @@
+package glider
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Predictor checkpointing: the online ISVM state (weights, PCHRs, adaptive
+// threshold) can be saved and restored, e.g. to warm-start a simulation or
+// to inspect trained weights offline.
+
+// predictorSnapshot is the serialized form.
+type predictorSnapshot struct {
+	Config       Config
+	Weights      []int8
+	PCHRs        [][]uint64
+	ThresholdIdx int
+	AdaptCounter int
+}
+
+// Save serializes the predictor state.
+func (p *Predictor) Save(w io.Writer) error {
+	snap := predictorSnapshot{
+		Config:       p.cfg,
+		Weights:      append([]int8(nil), p.weights...),
+		ThresholdIdx: p.thresholdIdx,
+		AdaptCounter: p.adaptCounter,
+	}
+	for _, h := range p.pchr {
+		snap.PCHRs = append(snap.PCHRs, h.Snapshot())
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadPredictor reconstructs a predictor saved with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var snap predictorSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("glider: decoding predictor: %w", err)
+	}
+	if err := snap.Config.validate(); err != nil {
+		return nil, err
+	}
+	p := NewPredictor(snap.Config)
+	if len(snap.Weights) != len(p.weights) {
+		return nil, fmt.Errorf("glider: snapshot has %d weights, config requires %d", len(snap.Weights), len(p.weights))
+	}
+	copy(p.weights, snap.Weights)
+	p.thresholdIdx = snap.ThresholdIdx
+	if p.thresholdIdx < 0 || p.thresholdIdx >= len(p.cfg.TrainingThresholds) {
+		return nil, fmt.Errorf("glider: snapshot threshold index %d out of range", snap.ThresholdIdx)
+	}
+	p.adaptCounter = snap.AdaptCounter
+	for i, pcs := range snap.PCHRs {
+		if i >= len(p.pchr) {
+			break
+		}
+		for _, pc := range pcs {
+			p.pchr[i].Observe(pc)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,83 @@
+package ml
+
+// Scaled dot-product attention (§4.2, Equation 3): for a target hidden
+// state h_t and source hidden states h_1..h_s, the attention weights are
+//
+//	a_t(s) = softmax_s( f · (h_t · h_s) )
+//
+// and the context vector is c_t = Σ_s a_t(s)·h_s. The paper's novelty in
+// the scaling factor f is interpretive: raising f forces sparsity in the
+// weight distribution, revealing which few source accesses decide the
+// caching outcome.
+
+// AttentionState records one attention application for the backward pass.
+type AttentionState struct {
+	// Target is h_t, Sources the h_s vectors attended over.
+	Target  Vec
+	Sources []Vec
+	// Weights is the softmax output a_t(·).
+	Weights Vec
+	// Context is the weighted sum of sources.
+	Context Vec
+}
+
+// Attention is the (parameter-free) scaled dot-product attention layer.
+type Attention struct {
+	// Scale is the scaling factor f applied to scores before softmax.
+	Scale float64
+}
+
+// Forward computes attention of target over sources. sources must be
+// non-empty.
+func (a *Attention) Forward(target Vec, sources []Vec) *AttentionState {
+	scores := NewVec(len(sources))
+	for s, hs := range sources {
+		scores[s] = a.Scale * target.Dot(hs)
+	}
+	weights := NewVec(len(sources))
+	Softmax(scores, weights)
+	ctx := NewVec(len(target))
+	for s, hs := range sources {
+		w := weights[s]
+		for j := range ctx {
+			ctx[j] += w * hs[j]
+		}
+	}
+	return &AttentionState{Target: target, Sources: sources, Weights: weights, Context: ctx}
+}
+
+// Backward propagates ∂L/∂context through the attention. It returns
+// ∂L/∂target and accumulates ∂L/∂h_s into dSources (indexed like
+// st.Sources; entries may be nil-initialized by the caller).
+func (a *Attention) Backward(st *AttentionState, dContext Vec, dSources []Vec) Vec {
+	n := len(st.Sources)
+	// dWeights[s] = dContext · h_s ; also dSources gets a_s * dContext.
+	dWeights := NewVec(n)
+	for s, hs := range st.Sources {
+		dWeights[s] = dContext.Dot(hs)
+		w := st.Weights[s]
+		ds := dSources[s]
+		for j := range ds {
+			ds[j] += w * dContext[j]
+		}
+	}
+	// Softmax backward: dScore[s] = a_s * (dW[s] − Σ_k a_k dW[k]).
+	dot := 0.0
+	for s := 0; s < n; s++ {
+		dot += st.Weights[s] * dWeights[s]
+	}
+	dTarget := NewVec(len(st.Target))
+	for s, hs := range st.Sources {
+		dScore := st.Weights[s] * (dWeights[s] - dot) * a.Scale
+		if dScore == 0 {
+			continue
+		}
+		// score = target·h_s ⇒ d target += dScore·h_s, d h_s += dScore·target.
+		ds := dSources[s]
+		for j := range dTarget {
+			dTarget[j] += dScore * hs[j]
+			ds[j] += dScore * st.Target[j]
+		}
+	}
+	return dTarget
+}

@@ -1,0 +1,42 @@
+package ml
+
+import "math/rand"
+
+// Embedding maps categorical token ids (here: PC vocabulary indices) to
+// learned dense vectors, replacing the one-hot representation the paper
+// notes is a poor fit for neural networks (§4.1).
+type Embedding struct {
+	// Vocab is the vocabulary size, Dim the embedding width.
+	Vocab, Dim int
+	table      *Mat
+	param      *Param
+	gradTable  *Mat
+}
+
+// NewEmbedding builds an embedding layer with small random initial values.
+func NewEmbedding(vocab, dim int, r *rand.Rand) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, table: NewMat(vocab, dim)}
+	for i := range e.table.Data {
+		e.table.Data[i] = (r.Float64()*2 - 1) * 0.1
+	}
+	e.param = NewParam("embedding", e.table.Data)
+	e.gradTable = &Mat{Rows: vocab, Cols: dim, Data: e.param.G}
+	return e
+}
+
+// Params exposes the trainable table.
+func (e *Embedding) Params() []*Param { return []*Param{e.param} }
+
+// Forward returns the embedding row for a token (a view, not a copy).
+func (e *Embedding) Forward(token int) Vec {
+	return e.table.Row(token)
+}
+
+// Backward accumulates the gradient for one token lookup.
+func (e *Embedding) Backward(token int, grad Vec) {
+	row := e.gradTable.Row(token)
+	row.Add(grad)
+}
+
+// NumWeights returns the parameter count.
+func (e *Embedding) NumWeights() int { return e.Vocab * e.Dim }

@@ -1,0 +1,43 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"glider/internal/ml"
+)
+
+// The offline ISVM over the k-sparse unordered feature — Glider's model —
+// separates contexts the PC alone cannot.
+func ExampleOfflineISVM() {
+	m := ml.NewOfflineISVM(5, 10)
+	for i := 0; i < 50; i++ {
+		m.Train(0x44c7f6, []uint64{0x44e141}, true) // anchor present → cache
+		m.Train(0x44c7f6, []uint64{0x44e999}, false)
+	}
+	fmt.Println(m.Predict(0x44c7f6, []uint64{0x44e141}))
+	fmt.Println(m.Predict(0x44c7f6, []uint64{0x44e999}))
+	// Output:
+	// true
+	// false
+}
+
+// The attention LSTM labels every element of an access sequence; the first
+// half of each sequence is warmup context (§4.1).
+func ExampleAttentionLSTM() {
+	cfg := ml.AttentionLSTMConfig{Vocab: 4, Embed: 8, Hidden: 8, LR: 0.02, ClipNorm: 5, Seed: 1}
+	m, err := ml.NewAttentionLSTM(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Token 3 is always cache-friendly, others averse.
+	tokens := []int{0, 1, 3, 2, 0, 3, 1, 3}
+	labels := []bool{false, false, true, false, false, true, false, true}
+	for i := 0; i < 60; i++ {
+		m.TrainSequence(tokens, labels, 4)
+	}
+	pred := m.Predict(tokens, 4)
+	fmt.Println("predictions for second half:", pred)
+	// Output:
+	// predictions for second half: [false true false true]
+}

@@ -1,0 +1,197 @@
+package ml
+
+// Offline linear baselines from the paper's evaluation (§5.2):
+//
+//   - OfflineISVM: the paper's Integer SVM over the k-sparse binary feature
+//     (the last k *unique* PCs, unordered) trained with hinge loss — the
+//     offline counterpart of Glider's hardware predictor.
+//   - OrderedSVM: the paper's re-implementation of the Perceptron baseline,
+//     an SVM with the same hinge loss over an *ordered* history of the last
+//     h PCs (each position is its own feature dimension), trained from
+//     Belady labels.
+//   - HawkeyeCounters: Hawkeye's per-PC saturating-counter predictor, the
+//     statistical baseline both are compared against.
+
+// OfflineISVM is an integer SVM over per-PC weight vectors indexed by the
+// unordered set of recent unique PCs. Fact 1 of §4.3: with binary features,
+// gradient descent with learning rate 1/n on margin 1 equals learning rate
+// 1 on margin n, so weights stay integral; StepInverse is that n.
+type OfflineISVM struct {
+	// K is the number of unique history PCs used as features.
+	K int
+	// StepInverse is n in Fact 1 (the paper's step size 0.001 → n = 1000).
+	StepInverse int
+	// weights[pc][featurePC] — materialized lazily per observed pair.
+	weights map[uint64]map[uint64]int
+}
+
+// NewOfflineISVM builds the model. k=5 and stepInverse=1000 reproduce
+// Table 5.
+func NewOfflineISVM(k, stepInverse int) *OfflineISVM {
+	if k <= 0 {
+		k = 5
+	}
+	if stepInverse <= 0 {
+		stepInverse = 1000
+	}
+	return &OfflineISVM{K: k, StepInverse: stepInverse, weights: make(map[uint64]map[uint64]int)}
+}
+
+// Sum returns the margin for (pc, unique-history).
+func (m *OfflineISVM) Sum(pc uint64, history []uint64) int {
+	w := m.weights[pc]
+	if w == nil {
+		return 0
+	}
+	s := 0
+	for _, h := range history {
+		s += w[h]
+	}
+	return s
+}
+
+// Predict classifies (pc, history) as cache-friendly.
+func (m *OfflineISVM) Predict(pc uint64, history []uint64) bool {
+	return m.Sum(pc, history) >= 0
+}
+
+// Train applies one hinge-loss subgradient step on the sample.
+func (m *OfflineISVM) Train(pc uint64, history []uint64, friendly bool) {
+	y := 1
+	if !friendly {
+		y = -1
+	}
+	sum := m.Sum(pc, history)
+	// Hinge: update only while y·sum < margin n (Equation 5).
+	if y*sum >= m.StepInverse {
+		return
+	}
+	w := m.weights[pc]
+	if w == nil {
+		w = make(map[uint64]int, m.K*4)
+		m.weights[pc] = w
+	}
+	for _, h := range history {
+		w[h] += y
+	}
+}
+
+// NumWeights returns the materialized weight count.
+func (m *OfflineISVM) NumWeights() int {
+	n := 0
+	for _, w := range m.weights {
+		n += len(w)
+	}
+	return n
+}
+
+// OrderedSVM is the Perceptron baseline: hinge-loss SVM whose features are
+// the last H PCs *with position* — (position, pc) pairs are distinct
+// dimensions, so the model must learn every ordering separately (§5.2,
+// footnote 8).
+type OrderedSVM struct {
+	// H is the ordered history length (paper baseline: 3).
+	H int
+	// StepInverse is the hinge margin as in OfflineISVM.
+	StepInverse int
+	weights     map[uint64]map[orderedFeature]int
+}
+
+type orderedFeature struct {
+	pos int
+	pc  uint64
+}
+
+// NewOrderedSVM builds the model; h=3 reproduces the paper baseline.
+func NewOrderedSVM(h, stepInverse int) *OrderedSVM {
+	if h <= 0 {
+		h = 3
+	}
+	if stepInverse <= 0 {
+		stepInverse = 1000
+	}
+	return &OrderedSVM{H: h, StepInverse: stepInverse, weights: make(map[uint64]map[orderedFeature]int)}
+}
+
+// Sum returns the margin for (pc, ordered history). history[0] is the most
+// recent PC.
+func (m *OrderedSVM) Sum(pc uint64, history []uint64) int {
+	w := m.weights[pc]
+	if w == nil {
+		return 0
+	}
+	s := 0
+	for i, h := range history {
+		if i >= m.H {
+			break
+		}
+		s += w[orderedFeature{i, h}]
+	}
+	return s
+}
+
+// Predict classifies the sample as cache-friendly.
+func (m *OrderedSVM) Predict(pc uint64, history []uint64) bool {
+	return m.Sum(pc, history) >= 0
+}
+
+// Train applies one hinge update.
+func (m *OrderedSVM) Train(pc uint64, history []uint64, friendly bool) {
+	y := 1
+	if !friendly {
+		y = -1
+	}
+	if y*m.Sum(pc, history) >= m.StepInverse {
+		return
+	}
+	w := m.weights[pc]
+	if w == nil {
+		w = make(map[orderedFeature]int, m.H*8)
+		m.weights[pc] = w
+	}
+	for i, h := range history {
+		if i >= m.H {
+			break
+		}
+		w[orderedFeature{i, h}] += y
+	}
+}
+
+// NumWeights returns the materialized weight count.
+func (m *OrderedSVM) NumWeights() int {
+	n := 0
+	for _, w := range m.weights {
+		n += len(w)
+	}
+	return n
+}
+
+// HawkeyeCounters is the offline version of Hawkeye's predictor: one
+// saturating counter per PC, trained directly from oracle labels.
+type HawkeyeCounters struct {
+	// Max bounds the counters at ±Max.
+	Max      int
+	counters map[uint64]int
+}
+
+// NewHawkeyeCounters builds the baseline with 5-bit-equivalent counters.
+func NewHawkeyeCounters() *HawkeyeCounters {
+	return &HawkeyeCounters{Max: 15, counters: make(map[uint64]int)}
+}
+
+// Predict classifies a PC as cache-friendly.
+func (m *HawkeyeCounters) Predict(pc uint64) bool { return m.counters[pc] >= 0 }
+
+// Train adjusts the PC's counter toward the oracle label.
+func (m *HawkeyeCounters) Train(pc uint64, friendly bool) {
+	c := m.counters[pc]
+	if friendly {
+		if c < m.Max {
+			m.counters[pc] = c + 1
+		}
+	} else {
+		if c > -m.Max-1 {
+			m.counters[pc] = c - 1
+		}
+	}
+}

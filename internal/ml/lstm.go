@@ -1,0 +1,153 @@
+package ml
+
+import "math/rand"
+
+// LSTM is a single-layer Long Short-Term Memory network (Hochreiter &
+// Schmidhuber, 1997) with the standard gate formulation:
+//
+//	i = σ(Wxi·x + Whi·h' + bi)    f = σ(Wxf·x + Whf·h' + bf)
+//	g = tanh(Wxg·x + Whg·h' + bg) o = σ(Wxo·x + Who·h' + bo)
+//	c = f∘c' + i∘g                h = o∘tanh(c)
+//
+// The four gates are packed in one matrix pair (Wx: 4H×E, Wh: 4H×H) in
+// i, f, g, o order. The forget-gate bias is initialized to 1, the usual
+// trick for learning long dependences.
+type LSTM struct {
+	// In is the input width (embedding dim), Hidden the state width.
+	In, Hidden int
+
+	wx, wh *Mat
+	b      Vec
+
+	pWx, pWh, pB *Param
+	gWx, gWh     *Mat
+	gB           Vec
+}
+
+// NewLSTM builds an LSTM layer with Xavier-initialized weights.
+func NewLSTM(in, hidden int, r *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		wx: NewMat(4*hidden, in),
+		wh: NewMat(4*hidden, hidden),
+		b:  NewVec(4 * hidden),
+	}
+	l.wx.XavierInit(r)
+	l.wh.XavierInit(r)
+	for i := hidden; i < 2*hidden; i++ {
+		l.b[i] = 1 // forget gate bias
+	}
+	l.pWx = NewParam("lstm.wx", l.wx.Data)
+	l.pWh = NewParam("lstm.wh", l.wh.Data)
+	l.pB = NewParam("lstm.b", l.b)
+	l.gWx = &Mat{Rows: 4 * hidden, Cols: in, Data: l.pWx.G}
+	l.gWh = &Mat{Rows: 4 * hidden, Cols: hidden, Data: l.pWh.G}
+	l.gB = Vec(l.pB.G)
+	return l
+}
+
+// Params exposes the trainable tensors.
+func (l *LSTM) Params() []*Param { return []*Param{l.pWx, l.pWh, l.pB} }
+
+// NumWeights returns the parameter count.
+func (l *LSTM) NumWeights() int {
+	return len(l.wx.Data) + len(l.wh.Data) + len(l.b)
+}
+
+// LSTMState holds the per-timestep activations the backward pass needs.
+type LSTMState struct {
+	X          Vec // input
+	I, F, G, O Vec // gate activations
+	C, H       Vec // cell and hidden state after the step
+	CPrev      Vec // cell state before the step
+	HPrev      Vec // hidden state before the step
+}
+
+// Step runs one timestep from (hPrev, cPrev) on input x and returns the
+// recorded state.
+func (l *LSTM) Step(x, hPrev, cPrev Vec) *LSTMState {
+	H := l.Hidden
+	z := NewVec(4 * H)
+	l.wx.MulVec(x, z)
+	tmp := NewVec(4 * H)
+	l.wh.MulVec(hPrev, tmp)
+	for i := range z {
+		z[i] += tmp[i] + l.b[i]
+	}
+	st := &LSTMState{
+		X: x, CPrev: cPrev, HPrev: hPrev,
+		I: NewVec(H), F: NewVec(H), G: NewVec(H), O: NewVec(H),
+		C: NewVec(H), H: NewVec(H),
+	}
+	for j := 0; j < H; j++ {
+		st.I[j] = Sigmoid(z[j])
+		st.F[j] = Sigmoid(z[H+j])
+		st.G[j] = Tanh(z[2*H+j])
+		st.O[j] = Sigmoid(z[3*H+j])
+		st.C[j] = st.F[j]*cPrev[j] + st.I[j]*st.G[j]
+		st.H[j] = st.O[j] * Tanh(st.C[j])
+	}
+	return st
+}
+
+// Forward runs the whole input sequence from zero state and returns the
+// per-step states (states[t].H is the hidden state after step t).
+func (l *LSTM) Forward(inputs []Vec) []*LSTMState {
+	states := make([]*LSTMState, len(inputs))
+	h := NewVec(l.Hidden)
+	c := NewVec(l.Hidden)
+	for t, x := range inputs {
+		states[t] = l.Step(x, h, c)
+		h, c = states[t].H, states[t].C
+	}
+	return states
+}
+
+// Backward runs backpropagation through time. dH[t] is ∂L/∂h_t accumulated
+// from the layers above (attention/output); the returned slice holds
+// ∂L/∂x_t for the embedding layer. Gradients accumulate into the layer's
+// Params.
+func (l *LSTM) Backward(states []*LSTMState, dH []Vec) []Vec {
+	H := l.Hidden
+	dX := make([]Vec, len(states))
+	dhNext := NewVec(H)
+	dcNext := NewVec(H)
+	dz := NewVec(4 * H)
+
+	for t := len(states) - 1; t >= 0; t-- {
+		st := states[t]
+		dh := dH[t].Clone()
+		dh.Add(dhNext)
+
+		for j := 0; j < H; j++ {
+			tc := Tanh(st.C[j])
+			do := dh[j] * tc
+			dc := dh[j]*st.O[j]*(1-tc*tc) + dcNext[j]
+
+			di := dc * st.G[j]
+			df := dc * st.CPrev[j]
+			dg := dc * st.I[j]
+
+			dz[j] = di * st.I[j] * (1 - st.I[j])
+			dz[H+j] = df * st.F[j] * (1 - st.F[j])
+			dz[2*H+j] = dg * (1 - st.G[j]*st.G[j])
+			dz[3*H+j] = do * st.O[j] * (1 - st.O[j])
+
+			dcNext[j] = dc * st.F[j]
+		}
+
+		// Accumulate weight gradients: gWx += dz·xᵀ, gWh += dz·h'ᵀ, gB += dz.
+		l.gWx.AddOuter(dz, st.X)
+		l.gWh.AddOuter(dz, st.HPrev)
+		l.gB.Add(dz)
+
+		// Propagate to input and previous hidden state.
+		dx := NewVec(l.In)
+		l.wx.MulVecT(dz, dx)
+		dX[t] = dx
+
+		dhNext.Zero()
+		l.wh.MulVecT(dz, dhNext)
+	}
+	return dX
+}

@@ -1,0 +1,261 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AttentionLSTMConfig sizes the paper's offline model (§4.1, Table 5).
+type AttentionLSTMConfig struct {
+	// Vocab is the PC vocabulary size.
+	Vocab int
+	// Embed is the embedding width (paper: 128).
+	Embed int
+	// Hidden is the LSTM state width (paper: 128).
+	Hidden int
+	// Scale is the attention scaling factor f (paper sweeps 1–5 in Fig 4).
+	Scale float64
+	// LR is the Adam learning rate (paper: 0.001).
+	LR float64
+	// ClipNorm bounds the global gradient norm per sequence (0 disables).
+	ClipNorm float64
+	// Seed makes initialization deterministic.
+	Seed int64
+}
+
+// PaperConfig returns the exact Table 5 hyper-parameters for a vocabulary.
+// It is expensive to train in pure Go; the experiment harness defaults to
+// FastConfig and documents the substitution in EXPERIMENTS.md.
+func PaperConfig(vocab int) AttentionLSTMConfig {
+	return AttentionLSTMConfig{Vocab: vocab, Embed: 128, Hidden: 128, Scale: 1, LR: 0.001, ClipNorm: 5, Seed: 1}
+}
+
+// FastConfig returns a reduced configuration (embed/hidden 32) that trains
+// orders of magnitude faster with the same qualitative behaviour on the
+// synthetic workloads.
+func FastConfig(vocab int) AttentionLSTMConfig {
+	return AttentionLSTMConfig{Vocab: vocab, Embed: 32, Hidden: 32, Scale: 1, LR: 0.003, ClipNorm: 5, Seed: 1}
+}
+
+// AttentionLSTM is the paper's offline model: embedding → 1-layer LSTM →
+// scaled dot-product attention → linear classifier, producing a binary
+// cache-friendly/cache-averse label for each element of the input sequence
+// (Figure 3).
+type AttentionLSTM struct {
+	cfg  AttentionLSTMConfig
+	emb  *Embedding
+	lstm *LSTM
+	attn *Attention
+
+	wOut     *Mat // 2 × 2H (context ‖ hidden)
+	bOut     Vec
+	pWOut    *Param
+	pBOut    *Param
+	gWOut    *Mat
+	gBOut    Vec
+	opt      Optimizer
+	params   []*Param
+	seqCount int
+}
+
+// optOverride swaps the optimizer (used by gradient-checking tests).
+func (m *AttentionLSTM) optOverride(o Optimizer) { m.opt = o }
+
+// NewAttentionLSTM builds the model.
+func NewAttentionLSTM(cfg AttentionLSTMConfig) (*AttentionLSTM, error) {
+	if cfg.Vocab <= 0 || cfg.Embed <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("ml: invalid AttentionLSTM config %+v", cfg)
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.001
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := &AttentionLSTM{
+		cfg:  cfg,
+		emb:  NewEmbedding(cfg.Vocab, cfg.Embed, r),
+		lstm: NewLSTM(cfg.Embed, cfg.Hidden, r),
+		attn: &Attention{Scale: cfg.Scale},
+		wOut: NewMat(2, 2*cfg.Hidden),
+		bOut: NewVec(2),
+	}
+	m.wOut.XavierInit(r)
+	m.pWOut = NewParam("out.w", m.wOut.Data)
+	m.pBOut = NewParam("out.b", m.bOut)
+	m.gWOut = &Mat{Rows: 2, Cols: 2 * cfg.Hidden, Data: m.pWOut.G}
+	m.gBOut = Vec(m.pBOut.G)
+	m.opt = NewAdam(cfg.LR)
+	m.params = append(m.params, m.emb.Params()...)
+	m.params = append(m.params, m.lstm.Params()...)
+	m.params = append(m.params, m.pWOut, m.pBOut)
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *AttentionLSTM) Config() AttentionLSTMConfig { return m.cfg }
+
+// NumWeights returns the total trainable parameter count (Table 3 model
+// size is NumWeights × 4 bytes for float32 storage).
+func (m *AttentionLSTM) NumWeights() int {
+	return m.emb.NumWeights() + m.lstm.NumWeights() + len(m.wOut.Data) + len(m.bOut)
+}
+
+// forward runs the shared part of training and inference: embeddings, the
+// LSTM, and per-target attention + logits. predictFrom is the first
+// timestep whose output is collected (the first half of each sequence is
+// warmup context, §4.1).
+type forwardPass struct {
+	states []*LSTMState
+	attn   []*AttentionState // indexed by t−predictFrom
+	logits []Vec
+	probs  []Vec
+}
+
+func (m *AttentionLSTM) forward(tokens []int, predictFrom int) *forwardPass {
+	inputs := make([]Vec, len(tokens))
+	for t, tok := range tokens {
+		inputs[t] = m.emb.Forward(tok % m.cfg.Vocab)
+	}
+	states := m.lstm.Forward(inputs)
+	fp := &forwardPass{states: states}
+	concat := NewVec(2 * m.cfg.Hidden)
+	for t := predictFrom; t < len(tokens); t++ {
+		sources := make([]Vec, t)
+		for s := 0; s < t; s++ {
+			sources[s] = states[s].H
+		}
+		ast := m.attn.Forward(states[t].H, sources)
+		copy(concat[:m.cfg.Hidden], ast.Context)
+		copy(concat[m.cfg.Hidden:], states[t].H)
+		logits := NewVec(2)
+		m.wOut.MulVec(concat, logits)
+		logits.Add(m.bOut)
+		probs := NewVec(2)
+		Softmax(logits, probs)
+		fp.attn = append(fp.attn, ast)
+		fp.logits = append(fp.logits, logits)
+		fp.probs = append(fp.probs, probs)
+	}
+	return fp
+}
+
+// Predict labels the sequence elements from predictFrom onward: true means
+// cache-friendly. The returned slice has len(tokens)−predictFrom entries.
+func (m *AttentionLSTM) Predict(tokens []int, predictFrom int) []bool {
+	fp := m.forward(tokens, predictFrom)
+	out := make([]bool, len(fp.probs))
+	for i, p := range fp.probs {
+		out[i] = p[1] >= p[0]
+	}
+	return out
+}
+
+// AttentionWeights returns, for each predicted timestep, the attention
+// weight vector over its source positions (Figures 4 and 5).
+func (m *AttentionLSTM) AttentionWeights(tokens []int, predictFrom int) [][]float64 {
+	fp := m.forward(tokens, predictFrom)
+	out := make([][]float64, len(fp.attn))
+	for i, a := range fp.attn {
+		out[i] = append([]float64(nil), a.Weights...)
+	}
+	return out
+}
+
+// TrainSequence performs one forward/backward/update pass over a sequence.
+// labels[t] is the oracle decision for tokens[t]; only labels from
+// predictFrom onward contribute to the loss. Returns the mean cross-entropy
+// over the predicted steps.
+func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom int) float64 {
+	if len(labels) != len(tokens) {
+		panic(fmt.Sprintf("ml: labels length %d != tokens length %d", len(labels), len(tokens)))
+	}
+	fp := m.forward(tokens, predictFrom)
+	H := m.cfg.Hidden
+	nPred := len(fp.probs)
+	if nPred == 0 {
+		return 0
+	}
+
+	// Per-timestep hidden-state gradients, accumulated from attention
+	// targets, attention sources, and the classifier.
+	dH := make([]Vec, len(tokens))
+	for t := range dH {
+		dH[t] = NewVec(H)
+	}
+
+	loss := 0.0
+	concat := NewVec(2 * H)
+	for i := nPred - 1; i >= 0; i-- {
+		t := predictFrom + i
+		y := 0
+		if labels[t] {
+			y = 1
+		}
+		p := fp.probs[i]
+		loss += -logSafe(p[y])
+
+		// Softmax cross-entropy gradient.
+		dLogits := Vec{p[0], p[1]}
+		dLogits[y] -= 1
+
+		ast := fp.attn[i]
+		copy(concat[:H], ast.Context)
+		copy(concat[H:], fp.states[t].H)
+		m.gWOut.AddOuter(dLogits, concat)
+		m.gBOut.Add(dLogits)
+
+		dConcat := NewVec(2 * H)
+		m.wOut.MulVecT(dLogits, dConcat)
+		dContext := dConcat[:H]
+		dHiddenT := dConcat[H:]
+
+		// Attention backward: sources are h_0..h_{t-1}.
+		dSources := make([]Vec, t)
+		for s := 0; s < t; s++ {
+			dSources[s] = dH[s]
+		}
+		dTarget := m.attn.Backward(ast, dContext, dSources)
+		dH[t].Add(dTarget)
+		dH[t].Add(dHiddenT)
+	}
+
+	dX := m.lstm.Backward(fp.states, dH)
+	for t, tok := range tokens {
+		m.emb.Backward(tok%m.cfg.Vocab, dX[t])
+	}
+
+	if m.cfg.ClipNorm > 0 {
+		grads := make([]Vec, len(m.params))
+		for i, p := range m.params {
+			grads[i] = Vec(p.G)
+		}
+		ClipNorm(grads, m.cfg.ClipNorm)
+	}
+	m.opt.Step(m.params)
+	m.seqCount++
+	return loss / float64(nPred)
+}
+
+// EvalSequence returns (correct, total) prediction counts against labels
+// for the steps from predictFrom onward.
+func (m *AttentionLSTM) EvalSequence(tokens []int, labels []bool, predictFrom int) (int, int) {
+	pred := m.Predict(tokens, predictFrom)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[predictFrom+i] {
+			correct++
+		}
+	}
+	return correct, len(pred)
+}
+
+func logSafe(x float64) float64 {
+	const tiny = 1e-12
+	if x < tiny {
+		x = tiny
+	}
+	return math.Log(x)
+}

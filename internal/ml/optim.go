@@ -1,0 +1,122 @@
+package ml
+
+import "math"
+
+// Param is one trainable tensor: a flat weight slice paired with its
+// gradient accumulator. Layers expose their weights as Params so a single
+// optimizer can update a whole model.
+type Param struct {
+	// Name identifies the parameter in diagnostics.
+	Name string
+	// W is the weight storage (often aliasing a Mat's Data).
+	W []float64
+	// G is the gradient accumulator, same length as W.
+	G []float64
+}
+
+// NewParam wraps a weight slice with a fresh gradient buffer.
+func NewParam(name string, w []float64) *Param {
+	return &Param{Name: name, W: w, G: make([]float64, len(w))}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears gradients.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum is the classical momentum coefficient (0 disables it).
+	Momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i := range p.W {
+				p.W[i] -= s.LR * p.G[i]
+			}
+		} else {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = make([]float64, len(p.W))
+				s.velocity[p] = v
+			}
+			for i := range p.W {
+				v[i] = s.Momentum*v[i] + p.G[i]
+				p.W[i] -= s.LR * v[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) — the optimizer in the
+// paper's Table 5 with learning rate 0.001.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 are the moment decay rates.
+	Beta1, Beta2 float64
+	// Eps is the denominator fuzz.
+	Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam builds an Adam optimizer with the standard hyper-parameters
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64),
+		v: make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			a.v[p] = v
+		}
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained offline models can be saved and reloaded, so
+// an expensive LSTM training run (hours at paper scale) can be analyzed —
+// attention extraction, shuffle studies, anchor attribution — without
+// retraining.
+
+// modelSnapshot is the on-disk representation.
+type modelSnapshot struct {
+	Config  AttentionLSTMConfig
+	Weights map[string][]float64
+}
+
+// Save serializes the model's configuration and weights.
+func (m *AttentionLSTM) Save(w io.Writer) error {
+	snap := modelSnapshot{Config: m.cfg, Weights: map[string][]float64{}}
+	for _, p := range m.params {
+		snap.Weights[p.Name] = append([]float64(nil), p.W...)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadAttentionLSTM reconstructs a model saved with Save. Optimizer state
+// (Adam moments) is not persisted: a loaded model predicts identically but
+// resumes training from fresh optimizer state.
+func LoadAttentionLSTM(r io.Reader) (*AttentionLSTM, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ml: decoding model: %w", err)
+	}
+	m, err := NewAttentionLSTM(snap.Config)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.params {
+		saved, ok := snap.Weights[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("ml: snapshot missing parameter %q", p.Name)
+		}
+		if len(saved) != len(p.W) {
+			return nil, fmt.Errorf("ml: parameter %q has %d weights, snapshot has %d", p.Name, len(p.W), len(saved))
+		}
+		copy(p.W, saved)
+	}
+	return m, nil
+}
+
+// mlpSnapshot is the MLP's on-disk representation.
+type mlpSnapshot struct {
+	In, Hidden int
+	LR         float64
+	Weights    map[string][]float64
+}
+
+// Save serializes the MLP.
+func (m *MLP) Save(w io.Writer) error {
+	snap := mlpSnapshot{In: m.In, Hidden: m.Hidden, Weights: map[string][]float64{}}
+	for _, p := range m.params {
+		snap.Weights[p.Name] = append([]float64(nil), p.W...)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadMLP reconstructs an MLP saved with Save.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	var snap mlpSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ml: decoding MLP: %w", err)
+	}
+	m, err := NewMLP(snap.In, snap.Hidden, snap.LR, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.params {
+		saved, ok := snap.Weights[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("ml: snapshot missing parameter %q", p.Name)
+		}
+		if len(saved) != len(p.W) {
+			return nil, fmt.Errorf("ml: parameter %q size mismatch", p.Name)
+		}
+		copy(p.W, saved)
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAttentionLSTMSaveLoadRoundTrip(t *testing.T) {
+	cfg := AttentionLSTMConfig{Vocab: 6, Embed: 5, Hidden: 7, Scale: 2, LR: 0.01, ClipNorm: 5, Seed: 4}
+	m, err := NewAttentionLSTM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []int{0, 1, 2, 3, 4, 5, 0, 1}
+	labels := []bool{true, false, true, false, true, false, true, false}
+	for i := 0; i < 10; i++ {
+		m.TrainSequence(tokens, labels, 4)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAttentionLSTM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must match exactly.
+	a := m.Predict(tokens, 4)
+	b := loaded.Predict(tokens, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	// Attention weights too (stronger: full forward-pass equality).
+	wa := m.AttentionWeights(tokens, 4)
+	wb := loaded.AttentionWeights(tokens, 4)
+	for i := range wa {
+		for j := range wa[i] {
+			if wa[i][j] != wb[i][j] {
+				t.Fatal("loaded model attention differs")
+			}
+		}
+	}
+	// The loaded model must be trainable.
+	loaded.TrainSequence(tokens, labels, 4)
+}
+
+func TestLoadAttentionLSTMRejectsGarbage(t *testing.T) {
+	if _, err := LoadAttentionLSTM(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	m, err := NewMLP(16, 8, 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		m.TrainSample([]int{1, 5}, true)
+		m.TrainSample([]int{2, 7}, false)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range [][]int{{1, 5}, {2, 7}, {0, 3}} {
+		if m.Predict(f) != loaded.Predict(f) {
+			t.Fatal("loaded MLP predicts differently")
+		}
+		if m.Confidence(f) != loaded.Confidence(f) {
+			t.Fatal("loaded MLP confidence differs")
+		}
+	}
+}
+
+func TestLoadMLPRejectsGarbage(t *testing.T) {
+	if _, err := LoadMLP(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

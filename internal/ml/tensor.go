@@ -1,0 +1,201 @@
+// Package ml is a from-scratch, dependency-free machine-learning toolkit
+// sized for the paper's offline models: dense vector/matrix kernels, an
+// embedding layer, an LSTM cell, scaled dot-product attention, softmax and
+// hinge losses, and SGD/Adam optimizers. It exists because the paper's
+// offline pipeline (attention-based LSTM trained with Adam on Belady
+// labels) is a system the reproduction must provide, and no external ML
+// framework is available.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec allocates a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone copies the vector.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets all elements to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add accumulates w into v (v += w).
+func (v Vec) Add(w Vec) {
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Scale multiplies v by s in place.
+func (v Vec) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Mat) Row(r int) Vec { return Vec(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Zero clears the matrix.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes out = m · x. out must have length m.Rows and x length
+// m.Cols.
+func (m *Mat) MulVec(x, out Vec) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("ml: MulVec shape mismatch: mat %dx%d, x %d, out %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		s := 0.0
+		for c, xv := range x {
+			s += row[c] * xv
+		}
+		out[r] = s
+	}
+}
+
+// MulVecT computes out = mᵀ · x (x length m.Rows, out length m.Cols),
+// accumulating into out.
+func (m *Mat) MulVecT(x, out Vec) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("ml: MulVecT shape mismatch: mat %dx%d, x %d, out %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			out[c] += row[c] * xv
+		}
+	}
+}
+
+// AddOuter accumulates the outer product x·yᵀ into m (gradient update for a
+// weight matrix between activations y and output-gradient x).
+func (m *Mat) AddOuter(x, y Vec) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("ml: AddOuter shape mismatch: mat %dx%d, x %d, y %d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += xv * y[c]
+		}
+	}
+}
+
+// XavierInit fills m with Glorot-uniform random values.
+func (m *Mat) XavierInit(r *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (r.Float64()*2 - 1) * limit
+	}
+}
+
+// Activation helpers -------------------------------------------------------
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Tanh is the hyperbolic tangent.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// Softmax writes the softmax of xs into out (which may alias xs), using the
+// max-subtraction trick for numerical stability.
+func Softmax(xs, out Vec) {
+	if len(xs) == 0 {
+		return
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for i, x := range xs {
+		e := math.Exp(x - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// ClipNorm rescales grads in place so the global L2 norm is at most limit,
+// and returns the pre-clip norm. Standard LSTM training hygiene.
+func ClipNorm(grads []Vec, limit float64) float64 {
+	total := 0.0
+	for _, g := range grads {
+		for _, v := range g {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > limit && norm > 0 {
+		s := limit / norm
+		for _, g := range grads {
+			g.Scale(s)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVecAddScaleZero(t *testing.T) {
+	v := Vec{1, 2}
+	v.Add(Vec{3, 4})
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatalf("Add: got %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 2 || v[1] != 3 {
+		t.Fatalf("Scale: got %v", v)
+	}
+	v.Zero()
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatalf("Zero: got %v", v)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := NewVec(2)
+	m.MulVec(Vec{1, 1, 1}, out)
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("MulVec: got %v", out)
+	}
+}
+
+func TestMatMulVecT(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := NewVec(3)
+	m.MulVecT(Vec{1, 2}, out)
+	want := Vec{9, 12, 15}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MulVecT: got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMatMulVecShapePanics(t *testing.T) {
+	m := NewMat(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec with wrong shapes did not panic")
+		}
+	}()
+	m.MulVec(NewVec(2), NewVec(2))
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(Vec{1, 2}, Vec{3, 4})
+	want := []float64{3, 4, 6, 8}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter: got %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		xs := make(Vec, len(raw))
+		for i, v := range raw {
+			// Bound inputs so exp stays finite but exercise a wide range.
+			xs[i] = math.Mod(v, 100)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		out := NewVec(len(xs))
+		Softmax(xs, out)
+		sum := 0.0
+		for _, p := range out {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	xs := Vec{1000, 1001, 1002}
+	out := NewVec(3)
+	Softmax(xs, out)
+	if math.IsNaN(out[0]) || out[2] <= out[0] {
+		t.Fatalf("Softmax unstable: %v", out)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	g := []Vec{{3, 0}, {0, 4}}
+	norm := ClipNorm(g, 1)
+	if !almostEqual(norm, 5, 1e-12) {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	total := 0.0
+	for _, v := range g {
+		total += v.Dot(v)
+	}
+	if !almostEqual(math.Sqrt(total), 1, 1e-9) {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(total))
+	}
+}
+
+func TestClipNormNoop(t *testing.T) {
+	g := []Vec{{0.1, 0.1}}
+	ClipNorm(g, 10)
+	if g[0][0] != 0.1 {
+		t.Fatal("ClipNorm modified gradients under the limit")
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMat(10, 10)
+	m.XavierInit(r)
+	limit := math.Sqrt(6.0 / 20.0)
+	nonzero := false
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("XavierInit left matrix all zero")
+	}
+}
+
+func TestSigmoidTanhRange(t *testing.T) {
+	for _, x := range []float64{-50, -1, 0, 1, 50} {
+		if s := Sigmoid(x); s < 0 || s > 1 {
+			t.Fatalf("Sigmoid(%v) = %v out of range", x, s)
+		}
+		if th := Tanh(x); th < -1 || th > 1 {
+			t.Fatalf("Tanh(%v) = %v out of range", x, th)
+		}
+	}
+	if Sigmoid(0) != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v, want 0.5", Sigmoid(0))
+	}
+}

@@ -1,0 +1,203 @@
+// Package offline implements the paper's offline learning pipeline (§4, §5.2):
+// building labeled datasets of LLC accesses from traces (oracle labels from
+// Belady's MIN), slicing them into overlapping warmup+predict sequences for
+// the attention LSTM, extracting ordered and unordered history features for
+// the linear baselines, and the analysis experiments (attention CDFs and
+// heatmaps, the shuffle test, convergence and history-length sweeps, and the
+// Table 4 anchor-PC study).
+package offline
+
+import (
+	"fmt"
+
+	"glider/internal/cache"
+	"glider/internal/opt"
+	"glider/internal/policy"
+	"glider/internal/trace"
+	"glider/internal/workload"
+)
+
+// Dataset is a labeled LLC access stream: the offline-training artifact the
+// paper's §5.1 "Settings for Offline Evaluation" describes — one
+// (PC, optimal decision) tuple per LLC access.
+type Dataset struct {
+	// Name identifies the source benchmark.
+	Name string
+	// PCs holds the PC of each LLC access.
+	PCs []uint64
+	// Blocks holds the block address of each access (used by
+	// multiperspective features that look beyond control flow).
+	Blocks []uint64
+	// Tokens holds the vocabulary index of each PC.
+	Tokens []int
+	// Labels holds the Belady oracle decision for each access: true =
+	// cache-friendly.
+	Labels []bool
+	// Vocab maps token index back to PC.
+	Vocab []uint64
+	// TrainEnd splits the stream: [0, TrainEnd) trains, [TrainEnd, len)
+	// tests (the paper's 75/25 split).
+	TrainEnd int
+}
+
+// Len returns the number of labeled accesses.
+func (d *Dataset) Len() int { return len(d.Tokens) }
+
+// FriendlyFraction returns the fraction of cache-friendly labels — useful
+// as the majority-class baseline accuracy.
+func (d *Dataset) FriendlyFraction() float64 {
+	if len(d.Labels) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range d.Labels {
+		if l {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Labels))
+}
+
+// splitFraction is the paper's train/test split.
+const splitFraction = 0.75
+
+// tailDropFraction excludes the final portion of the labeled stream from
+// the dataset: Belady labels there are truncated (a block's next use may
+// lie beyond the end of the trace, mislabeling it cache-averse). The
+// paper's 250M-instruction windows dwarf its reuse distances so the effect
+// is negligible there; at simulation scale it is not.
+const tailDropFraction = 0.2
+
+// BuildDataset generates the benchmark trace, filters it through LRU L1/L2
+// caches to obtain the LLC access stream, and labels that stream with exact
+// Belady MIN decisions for the Table 1 LLC geometry.
+func BuildDataset(spec workload.Spec, accesses int, seed int64) (*Dataset, error) {
+	t := spec.Generate(accesses, seed)
+	return BuildDatasetFromTrace(t)
+}
+
+// BuildDatasetFromTrace labels an existing trace (see BuildDataset).
+func BuildDatasetFromTrace(t *trace.Trace) (*Dataset, error) {
+	llcStream, err := filterToLLC(t)
+	if err != nil {
+		return nil, err
+	}
+	if llcStream.Len() == 0 {
+		return nil, fmt.Errorf("offline: trace %q produced no LLC accesses", t.Name)
+	}
+	labels := opt.LabelTrace(llcStream, cache.LLCConfig.Sets, cache.LLCConfig.Ways)
+	usable := int(float64(llcStream.Len()) * (1 - tailDropFraction))
+	llcStream = llcStream.Slice(0, usable)
+
+	d := &Dataset{Name: t.Name}
+	index := make(map[uint64]int)
+	for i, a := range llcStream.Accesses {
+		tok, ok := index[a.PC]
+		if !ok {
+			tok = len(d.Vocab)
+			index[a.PC] = tok
+			d.Vocab = append(d.Vocab, a.PC)
+		}
+		d.PCs = append(d.PCs, a.PC)
+		d.Blocks = append(d.Blocks, a.Block())
+		d.Tokens = append(d.Tokens, tok)
+		d.Labels = append(d.Labels, labels[i])
+	}
+	d.TrainEnd = int(float64(d.Len()) * splitFraction)
+	return d, nil
+}
+
+// filterToLLC runs the trace through LRU L1 and L2 caches and returns the
+// stream of accesses that reached the LLC.
+func filterToLLC(t *trace.Trace) (*trace.Trace, error) {
+	upper := func(sets, ways int) cache.Policy { return policy.NewLRU(sets, ways) }
+	h, err := cache.NewHierarchy(1, cache.LLCConfig, policy.NewLRU(cache.LLCConfig.Sets, cache.LLCConfig.Ways), upper)
+	if err != nil {
+		return nil, err
+	}
+	out := trace.New(t.Name+".llc", t.Len()/2)
+	for _, a := range t.Accesses {
+		a.Core = 0
+		res := h.Access(a)
+		if res.LLCAccessed {
+			out.Append(a)
+		}
+	}
+	return out, nil
+}
+
+// Sequence is one 2N-length slice for sequence labeling: the first
+// PredictFrom steps are warmup context, the rest are predicted (§4.1).
+type Sequence struct {
+	// Tokens and Labels cover the whole 2N window.
+	Tokens []int
+	Labels []bool
+	// PredictFrom is N, the first predicted index.
+	PredictFrom int
+	// Start is the dataset index of Tokens[0].
+	Start int
+}
+
+// Sequences slices the train (train=true) or test region into overlapping
+// sequences of length 2n with stride n, as §4.1 prescribes.
+func (d *Dataset) Sequences(n int, train bool) []Sequence {
+	lo, hi := 0, d.TrainEnd
+	if !train {
+		lo, hi = d.TrainEnd, d.Len()
+	}
+	var out []Sequence
+	for start := lo; start+2*n <= hi; start += n {
+		out = append(out, Sequence{
+			Tokens:      d.Tokens[start : start+2*n],
+			Labels:      d.Labels[start : start+2*n],
+			PredictFrom: n,
+			Start:       start,
+		})
+	}
+	return out
+}
+
+// UniqueHistories computes, for every access, the k-sparse unordered
+// feature: the last k unique PCs seen before the access (PCHR semantics).
+func (d *Dataset) UniqueHistories(k int) [][]uint64 {
+	out := make([][]uint64, len(d.PCs))
+	pchr := make([]uint64, 0, k)
+	for i, pc := range d.PCs {
+		snap := make([]uint64, len(pchr))
+		copy(snap, pchr)
+		out[i] = snap
+		// Update PCHR: move-to-back or append, evicting the LRU PC.
+		found := false
+		for j, p := range pchr {
+			if p == pc {
+				copy(pchr[j:], pchr[j+1:])
+				pchr[len(pchr)-1] = pc
+				found = true
+				break
+			}
+		}
+		if !found {
+			if len(pchr) == k {
+				copy(pchr, pchr[1:])
+				pchr[len(pchr)-1] = pc
+			} else {
+				pchr = append(pchr, pc)
+			}
+		}
+	}
+	return out
+}
+
+// OrderedHistories computes, for every access, the ordered feature: the
+// last h PCs before the access, most recent first (with repetition).
+func (d *Dataset) OrderedHistories(h int) [][]uint64 {
+	out := make([][]uint64, len(d.PCs))
+	for i := range d.PCs {
+		hist := make([]uint64, 0, h)
+		for j := i - 1; j >= 0 && len(hist) < h; j-- {
+			hist = append(hist, d.PCs[j])
+		}
+		out[i] = hist
+	}
+	return out
+}

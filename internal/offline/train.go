@@ -1,0 +1,185 @@
+package offline
+
+import (
+	"math/rand"
+
+	"glider/internal/ml"
+)
+
+// TrainResult records one offline training run: the per-epoch test accuracy
+// curve (Figure 15) and the final accuracy.
+type TrainResult struct {
+	// Model names the trained model.
+	Model string
+	// EpochAccuracy is the test accuracy after each epoch.
+	EpochAccuracy []float64
+}
+
+// FinalAccuracy returns the last epoch's test accuracy.
+func (r TrainResult) FinalAccuracy() float64 {
+	if len(r.EpochAccuracy) == 0 {
+		return 0
+	}
+	return r.EpochAccuracy[len(r.EpochAccuracy)-1]
+}
+
+// TrainHawkeyeOffline trains Hawkeye's per-PC counters on the train region
+// for the given number of epochs, recording test accuracy per epoch.
+func TrainHawkeyeOffline(d *Dataset, epochs int) (*ml.HawkeyeCounters, TrainResult) {
+	m := ml.NewHawkeyeCounters()
+	res := TrainResult{Model: "hawkeye"}
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < d.TrainEnd; i++ {
+			m.Train(d.PCs[i], d.Labels[i])
+		}
+		res.EpochAccuracy = append(res.EpochAccuracy, EvalHawkeyeOffline(m, d))
+	}
+	return m, res
+}
+
+// EvalHawkeyeOffline measures test-region accuracy.
+func EvalHawkeyeOffline(m *ml.HawkeyeCounters, d *Dataset) float64 {
+	correct, total := 0, 0
+	for i := d.TrainEnd; i < d.Len(); i++ {
+		if m.Predict(d.PCs[i]) == d.Labels[i] {
+			correct++
+		}
+		total++
+	}
+	return ratio(correct, total)
+}
+
+// TrainISVMOffline trains the offline ISVM with k unique-history features.
+func TrainISVMOffline(d *Dataset, k, epochs int) (*ml.OfflineISVM, TrainResult) {
+	m := ml.NewOfflineISVM(k, 1000)
+	hists := d.UniqueHistories(k)
+	res := TrainResult{Model: "offline-isvm"}
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < d.TrainEnd; i++ {
+			m.Train(d.PCs[i], hists[i], d.Labels[i])
+		}
+		res.EpochAccuracy = append(res.EpochAccuracy, evalISVM(m, d, hists))
+	}
+	return m, res
+}
+
+func evalISVM(m *ml.OfflineISVM, d *Dataset, hists [][]uint64) float64 {
+	correct, total := 0, 0
+	for i := d.TrainEnd; i < d.Len(); i++ {
+		if m.Predict(d.PCs[i], hists[i]) == d.Labels[i] {
+			correct++
+		}
+		total++
+	}
+	return ratio(correct, total)
+}
+
+// TrainOrderedSVMOffline trains the Perceptron baseline (ordered history of
+// h PCs) on Belady labels.
+func TrainOrderedSVMOffline(d *Dataset, h, epochs int) (*ml.OrderedSVM, TrainResult) {
+	m := ml.NewOrderedSVM(h, 1000)
+	hists := d.OrderedHistories(h)
+	res := TrainResult{Model: "perceptron"}
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < d.TrainEnd; i++ {
+			m.Train(d.PCs[i], hists[i], d.Labels[i])
+		}
+		res.EpochAccuracy = append(res.EpochAccuracy, evalOrdered(m, d, hists))
+	}
+	return m, res
+}
+
+func evalOrdered(m *ml.OrderedSVM, d *Dataset, hists [][]uint64) float64 {
+	correct, total := 0, 0
+	for i := d.TrainEnd; i < d.Len(); i++ {
+		if m.Predict(d.PCs[i], hists[i]) == d.Labels[i] {
+			correct++
+		}
+		total++
+	}
+	return ratio(correct, total)
+}
+
+// LSTMOptions controls LSTM training cost/quality trade-offs.
+type LSTMOptions struct {
+	// HistoryLen is N: sequences are 2N long with N warmup (paper: 30).
+	HistoryLen int
+	// Epochs is the number of passes over the training sequences.
+	Epochs int
+	// MaxTrainSequences caps the sequences used per epoch (0 = all); the
+	// cap keeps pure-Go training tractable and is documented in
+	// EXPERIMENTS.md.
+	MaxTrainSequences int
+	// MaxEvalSequences caps the test sequences scored per epoch (0 = all).
+	MaxEvalSequences int
+	// Config is the model configuration; zero value selects
+	// ml.FastConfig(vocab).
+	Config ml.AttentionLSTMConfig
+	// Seed controls sequence subsampling.
+	Seed int64
+}
+
+// DefaultLSTMOptions returns the settings used by the experiment harness:
+// N = 30 as the paper found optimal, with the fast model configuration.
+func DefaultLSTMOptions() LSTMOptions {
+	return LSTMOptions{HistoryLen: 30, Epochs: 10, MaxTrainSequences: 400, MaxEvalSequences: 200, Seed: 1}
+}
+
+// TrainLSTM trains the attention LSTM on the dataset and returns the model
+// plus its per-epoch accuracy curve.
+func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, error) {
+	cfg := opts.Config
+	if cfg.Vocab == 0 {
+		cfg = ml.FastConfig(len(d.Vocab))
+	}
+	cfg.Vocab = len(d.Vocab)
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 1
+	}
+	m, err := ml.NewAttentionLSTM(cfg)
+	if err != nil {
+		return nil, TrainResult{}, err
+	}
+	trainSeqs := d.Sequences(opts.HistoryLen, true)
+	testSeqs := d.Sequences(opts.HistoryLen, false)
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	res := TrainResult{Model: "attention-lstm"}
+	for e := 0; e < opts.Epochs; e++ {
+		seqs := trainSeqs
+		if opts.MaxTrainSequences > 0 && len(seqs) > opts.MaxTrainSequences {
+			perm := r.Perm(len(trainSeqs))
+			seqs = make([]Sequence, opts.MaxTrainSequences)
+			for i := range seqs {
+				seqs[i] = trainSeqs[perm[i]]
+			}
+		}
+		for _, s := range seqs {
+			m.TrainSequence(s.Tokens, s.Labels, s.PredictFrom)
+		}
+		res.EpochAccuracy = append(res.EpochAccuracy, EvalLSTM(m, testSeqs, opts.MaxEvalSequences))
+	}
+	return m, res, nil
+}
+
+// EvalLSTM measures sequence-labeling accuracy over test sequences
+// (optionally capped at maxSeqs).
+func EvalLSTM(m *ml.AttentionLSTM, seqs []Sequence, maxSeqs int) float64 {
+	if maxSeqs > 0 && len(seqs) > maxSeqs {
+		seqs = seqs[:maxSeqs]
+	}
+	correct, total := 0, 0
+	for _, s := range seqs {
+		c, t := m.EvalSequence(s.Tokens, s.Labels, s.PredictFrom)
+		correct += c
+		total += t
+	}
+	return ratio(correct, total)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

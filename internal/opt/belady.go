@@ -1,0 +1,129 @@
+// Package opt implements Belady's MIN optimal replacement algorithm — both
+// as an exact offline simulator that produces the oracle training labels the
+// paper's offline models learn from (§4), and as the online OPTgen
+// occupancy-vector algorithm from Hawkeye that Glider trains from in
+// hardware (§3.1, §4.4).
+package opt
+
+import (
+	"glider/internal/trace"
+)
+
+// noUse marks an access whose block is never referenced again.
+const noUse = int(^uint(0) >> 1) // max int
+
+// NextUse computes, for each access index i, the index of the next access to
+// the same block, or a value larger than any index when the block is never
+// accessed again.
+func NextUse(t *trace.Trace) []int {
+	next := make([]int, t.Len())
+	last := make(map[uint64]int, 1024)
+	for i := t.Len() - 1; i >= 0; i-- {
+		b := t.Accesses[i].Block()
+		if j, ok := last[b]; ok {
+			next[i] = j
+		} else {
+			next[i] = noUse
+		}
+		last[b] = i
+	}
+	return next
+}
+
+// Result holds the outcome of an exact MIN simulation.
+type Result struct {
+	// Hit[i] reports whether access i hit under MIN.
+	Hit []bool
+	// ShouldCache[i] is the oracle label for access i: true when MIN keeps
+	// the line loaded/touched by access i until its next use (i.e. the next
+	// access to the same block is a MIN hit). Accesses to blocks that are
+	// never reused are labeled cache-averse.
+	ShouldCache []bool
+	// Hits and Misses are aggregate counts.
+	Hits, Misses uint64
+}
+
+// HitRate returns the MIN hit rate.
+func (r Result) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// entry is one cached block in the exact simulator.
+type entry struct {
+	block   uint64
+	nextUse int
+}
+
+// SimulateMIN runs Belady's MIN (with bypass, as in the Cache Replacement
+// Championship reference) over the trace for a cache with the given set
+// count and associativity, returning per-access hits and oracle labels.
+func SimulateMIN(t *trace.Trace, sets, ways int) Result {
+	next := NextUse(t)
+	res := Result{
+		Hit:         make([]bool, t.Len()),
+		ShouldCache: make([]bool, t.Len()),
+	}
+	content := make([][]entry, sets)
+	prevAccess := make(map[uint64]int, 1024)
+	mask := uint64(sets - 1)
+
+	for i, a := range t.Accesses {
+		b := a.Block()
+		s := int(b & mask)
+		set := content[s]
+
+		hitWay := -1
+		for w := range set {
+			if set[w].block == b {
+				hitWay = w
+				break
+			}
+		}
+
+		if hitWay >= 0 {
+			res.Hit[i] = true
+			res.Hits++
+			set[hitWay].nextUse = next[i]
+			if p, ok := prevAccess[b]; ok {
+				res.ShouldCache[p] = true
+			}
+		} else {
+			res.Misses++
+			// The previous toucher of this block (if any) failed to keep it:
+			// its label stays cache-averse (false by default).
+			if next[i] != noUse {
+				// Insert, evicting the entry with the furthest next use —
+				// possibly the incoming line itself (bypass).
+				if len(set) < ways {
+					content[s] = append(set, entry{b, next[i]})
+				} else {
+					victim := -1
+					furthest := next[i] // incoming line's reuse distance
+					for w := range set {
+						if set[w].nextUse > furthest {
+							furthest = set[w].nextUse
+							victim = w
+						}
+					}
+					if victim >= 0 {
+						set[victim] = entry{b, next[i]}
+					}
+					// victim == -1 means the incoming line is reused
+					// furthest: bypass it.
+				}
+			}
+		}
+		prevAccess[b] = i
+	}
+	return res
+}
+
+// LabelTrace is a convenience wrapper returning only the oracle labels for
+// the LLC geometry of Table 1.
+func LabelTrace(t *trace.Trace, sets, ways int) []bool {
+	return SimulateMIN(t, sets, ways).ShouldCache
+}

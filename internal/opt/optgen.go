@@ -1,0 +1,119 @@
+package opt
+
+// OPTgen is the online occupancy-vector algorithm from the Hawkeye paper:
+// it reconstructs, for a single cache set, the decisions Belady's MIN would
+// have made over a sliding window of recent accesses. Hawkeye and Glider
+// both attach one OPTgen instance to each sampled set and use its verdicts
+// as supervised training signal.
+//
+// The algorithm maintains an occupancy count for each time quantum in the
+// window (one quantum per set access). When block X is accessed at time t2
+// and was previously accessed at time t1 within the window, MIN would have
+// hit iff every quantum in [t1, t2) still has spare capacity; in that case
+// the quanta are incremented to reserve X's residency.
+type OPTgen struct {
+	ways      int
+	window    int
+	occupancy []uint8
+	clock     uint64 // absolute per-set access count
+	last      map[uint64]uint64
+}
+
+// DefaultWindowFactor is the history length multiplier used by Hawkeye
+// (window = 8 × associativity).
+const DefaultWindowFactor = 8
+
+// NewOPTgen creates an OPTgen instance for a set with the given
+// associativity and history window (in set accesses). A window of 0 selects
+// the Hawkeye default of 8× associativity.
+func NewOPTgen(ways, window int) *OPTgen {
+	if window <= 0 {
+		window = DefaultWindowFactor * ways
+	}
+	return &OPTgen{
+		ways:      ways,
+		window:    window,
+		occupancy: make([]uint8, window),
+		last:      make(map[uint64]uint64, window),
+	}
+}
+
+// Verdict is OPTgen's decision for one access.
+type Verdict int
+
+// Verdict values.
+const (
+	// VerdictMiss means MIN would have missed (the line was not worth
+	// caching): negative training signal for the previous toucher's PC.
+	VerdictMiss Verdict = iota
+	// VerdictHit means MIN would have hit: positive training signal.
+	VerdictHit
+	// VerdictCold means the block has never been seen before, so no
+	// training signal is generated.
+	VerdictCold
+	// VerdictExpired means the block's previous access fell outside the
+	// history window without being reused — the hardware analog of a
+	// sampler entry evicted un-reused, which Hawkeye detrains (negative
+	// signal for the previous toucher's PC).
+	VerdictExpired
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictMiss:
+		return "miss"
+	case VerdictHit:
+		return "hit"
+	case VerdictCold:
+		return "cold"
+	case VerdictExpired:
+		return "expired"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Access records one access to the set and returns MIN's reconstructed
+// outcome for it.
+func (g *OPTgen) Access(block uint64) Verdict {
+	t2 := g.clock
+	verdict := VerdictCold
+	if t1, ok := g.last[block]; ok {
+		if t2-t1 >= uint64(g.window) {
+			verdict = VerdictExpired
+		} else {
+			// Check capacity over [t1, t2).
+			fits := true
+			for t := t1; t < t2; t++ {
+				if g.occupancy[t%uint64(g.window)] >= uint8(g.ways) {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for t := t1; t < t2; t++ {
+					g.occupancy[t%uint64(g.window)]++
+				}
+				verdict = VerdictHit
+			} else {
+				verdict = VerdictMiss
+			}
+		}
+	}
+	g.occupancy[t2%uint64(g.window)] = 0
+	g.last[block] = t2
+	g.clock++
+	// Garbage-collect stale entries occasionally so the map stays bounded.
+	if len(g.last) > 4*g.window && g.clock%uint64(g.window) == 0 {
+		for b, t := range g.last {
+			if t2-t >= uint64(g.window) {
+				delete(g.last, b)
+			}
+		}
+	}
+	return verdict
+}
+
+// Clock returns the number of accesses observed.
+func (g *OPTgen) Clock() uint64 { return g.clock }

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"glider/internal/cache"
+	"glider/internal/trace"
+)
+
+// DIP — Dynamic Insertion Policy (Qureshi et al., ISCA 2007) — one of the
+// heuristic ancestors the paper's related work (§2.1) traces modern
+// replacement back to. DIP set-duels between traditional LRU insertion and
+// BIP (Bimodal Insertion Policy: insert at LRU position except with 1/32
+// probability at MRU), which protects against thrashing.
+
+// LIP is the LRU-Insertion Policy: lines insert at the *LRU* position, so a
+// never-reused line is the immediate next victim. It is BIP's ε→0 limit and
+// is exposed separately as a useful baseline.
+type LIP struct {
+	lru *LRU
+}
+
+// NewLIP builds a LIP policy.
+func NewLIP(sets, ways int) *LIP { return &LIP{lru: NewLRU(sets, ways)} }
+
+// Name implements cache.Policy.
+func (p *LIP) Name() string { return "lip" }
+
+// Victim implements cache.Policy (LRU victim selection).
+func (p *LIP) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	return p.lru.Victim(set, pc, block, core, lines)
+}
+
+// Update implements cache.Policy: hits promote to MRU, fills insert at LRU.
+func (p *LIP) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	if way < 0 {
+		return
+	}
+	p.lru.clock++
+	if hit {
+		p.lru.stamp[set][way] = p.lru.clock
+		return
+	}
+	// Insert at LRU: stamp below every resident line.
+	min := p.lru.clock
+	for w, s := range p.lru.stamp[set] {
+		if w != way && s < min {
+			min = s
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	p.lru.stamp[set][way] = min - 1
+}
+
+// DIP set-duels LRU against BIP with a PSEL counter.
+type DIP struct {
+	lru     *LRU
+	rng     xorshift64
+	psel    int
+	pselMax int
+}
+
+// NewDIP builds a DIP policy.
+func NewDIP(sets, ways int, seed uint64) *DIP {
+	return &DIP{lru: NewLRU(sets, ways), rng: newXorshift(seed), psel: 512, pselMax: 1023}
+}
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "dip" }
+
+// leader returns 0 for LRU leader sets, 1 for BIP leaders, -1 for
+// followers (one of each per 64 sets, complementary indices).
+func (p *DIP) leader(set int) int {
+	switch set % 64 {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *DIP) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	return p.lru.Victim(set, pc, block, core, lines)
+}
+
+// Update implements cache.Policy.
+func (p *DIP) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	if way < 0 {
+		return
+	}
+	p.lru.clock++
+	if hit {
+		p.lru.stamp[set][way] = p.lru.clock
+		return
+	}
+	// A miss in a leader set votes against that leader's policy.
+	switch p.leader(set) {
+	case 0:
+		if p.psel < p.pselMax {
+			p.psel++
+		}
+	case 1:
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+	useBIP := false
+	switch p.leader(set) {
+	case 0:
+		useBIP = false
+	case 1:
+		useBIP = true
+	default:
+		useBIP = p.psel > p.pselMax/2
+	}
+	if !useBIP || p.rng.intn(32) == 0 {
+		// LRU insertion (MRU position).
+		p.lru.stamp[set][way] = p.lru.clock
+		return
+	}
+	// BIP common case: insert at LRU position.
+	min := p.lru.clock
+	for w, s := range p.lru.stamp[set] {
+		if w != way && s < min {
+			min = s
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	p.lru.stamp[set][way] = min - 1
+}

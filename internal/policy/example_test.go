@@ -1,0 +1,41 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"glider/internal/cache"
+	"glider/internal/policy"
+	"glider/internal/trace"
+)
+
+// Policies are looked up by the names the figures use.
+func ExampleNew() {
+	p, ok := policy.New("glider", cache.LLCConfig.Sets, cache.LLCConfig.Ways)
+	fmt.Println(ok, p.Name())
+	_, ok = policy.New("belady2000", 16, 4)
+	fmt.Println(ok)
+	// Output:
+	// true glider
+	// false
+}
+
+// Glider protects a reused working set from a streaming PC after a short
+// online training period.
+func ExampleNewGlider() {
+	llc := cache.MustNew(cache.LLCConfig, policy.NewGlider(cache.LLCConfig.Sets, cache.LLCConfig.Ways))
+	stream := uint64(1 << 20)
+	phase := func(n int) cache.Stats {
+		llc.ResetStats()
+		for i := 0; i < n; i++ {
+			llc.Access(0x400100, uint64(i%8192), 0, trace.Load) // hot loop
+			llc.Access(0x400200, stream, 0, trace.Load)         // stream
+			stream++
+		}
+		return llc.Stats()
+	}
+	phase(200_000) // train
+	trained := phase(20_000)
+	fmt.Printf("trained miss rate: %.0f%% (ideal 50%%: only the stream misses)\n", trained.MissRate()*100)
+	// Output:
+	// trained miss rate: 50% (ideal 50%: only the stream misses)
+}

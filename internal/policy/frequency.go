@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"math"
+
+	"glider/internal/cache"
+	"glider/internal/trace"
+)
+
+// Frequency-based policies from the paper's heuristic lineage (§2.1:
+// "other heuristics are based on frequency counters"): LFU and LRFU.
+
+// LFU evicts the least-frequently-used line, with counters reset on fill.
+type LFU struct {
+	count [][]uint32
+	lru   *LRU // tie-break by recency
+}
+
+// NewLFU builds an LFU policy.
+func NewLFU(sets, ways int) *LFU {
+	p := &LFU{lru: NewLRU(sets, ways)}
+	p.count = make([][]uint32, sets)
+	backing := make([]uint32, sets*ways)
+	for i := range p.count {
+		p.count[i], backing = backing[:ways], backing[ways:]
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *LFU) Name() string { return "lfu" }
+
+// Victim implements cache.Policy: lowest count, ties broken by LRU.
+func (p *LFU) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	victim := 0
+	best := uint32(math.MaxUint32)
+	oldest := ^uint64(0)
+	for w := range lines {
+		c := p.count[set][w]
+		s := p.lru.stamp[set][w]
+		if c < best || (c == best && s < oldest) {
+			best = c
+			oldest = s
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Update implements cache.Policy.
+func (p *LFU) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	p.lru.Update(set, way, pc, block, core, hit, kind)
+	if way < 0 {
+		return
+	}
+	if hit {
+		if p.count[set][way] < math.MaxUint32 {
+			p.count[set][way]++
+		}
+	} else {
+		p.count[set][way] = 0
+	}
+}
+
+// LRFU (Lee et al.) spans the spectrum between LRU and LFU with an
+// exponentially-decayed reference value: CRF(t) = Σ (1/2)^(λ·(t−t_ref)).
+// λ → 0 degenerates to LFU, λ = 1 to LRU.
+type LRFU struct {
+	// Lambda is the decay exponent per access.
+	Lambda float64
+	crf    [][]float64
+	stamp  [][]uint64
+	clock  uint64
+}
+
+// NewLRFU builds an LRFU policy with the given λ (0.001 is a common
+// middle-ground setting).
+func NewLRFU(sets, ways int, lambda float64) *LRFU {
+	p := &LRFU{Lambda: lambda}
+	p.crf = make([][]float64, sets)
+	p.stamp = make([][]uint64, sets)
+	cb := make([]float64, sets*ways)
+	sb := make([]uint64, sets*ways)
+	for i := range p.crf {
+		p.crf[i], cb = cb[:ways], cb[ways:]
+		p.stamp[i], sb = sb[:ways], sb[ways:]
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *LRFU) Name() string { return "lrfu" }
+
+// value returns the decayed CRF of a line at the current clock.
+func (p *LRFU) value(set, way int) float64 {
+	age := float64(p.clock - p.stamp[set][way])
+	return p.crf[set][way] * math.Pow(0.5, p.Lambda*age)
+}
+
+// Victim implements cache.Policy: evict the line with the smallest decayed
+// reference value.
+func (p *LRFU) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	victim := 0
+	best := math.Inf(1)
+	for w := range lines {
+		if v := p.value(set, w); v < best {
+			best = v
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Update implements cache.Policy.
+func (p *LRFU) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	p.clock++
+	if way < 0 {
+		return
+	}
+	if hit {
+		p.crf[set][way] = p.value(set, way) + 1
+	} else {
+		p.crf[set][way] = 1
+	}
+	p.stamp[set][way] = p.clock
+}

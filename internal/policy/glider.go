@@ -1,0 +1,180 @@
+package policy
+
+import (
+	"glider/internal/cache"
+	gl "glider/internal/glider"
+	"glider/internal/opt"
+	"glider/internal/trace"
+)
+
+// Glider is the paper's replacement policy: the Hawkeye skeleton (OPTgen
+// training on sampled sets, RRPV-based insertion/eviction) with Hawkeye's
+// per-PC counters replaced by the ISVM predictor over the unordered PC
+// History Register (see the glider package).
+
+// gliderSample remembers what the predictor saw when a block was last
+// touched, so OPTgen's later verdict can train the right feature vector.
+type gliderSample struct {
+	pc      uint64
+	history []uint64
+	time    uint64
+}
+
+// gliderSampler is the per-sampled-set training state.
+type gliderSampler struct {
+	optgen *opt.OPTgen
+	last   map[uint64]gliderSample
+}
+
+func newGliderSampler(ways int) *gliderSampler {
+	return &gliderSampler{
+		optgen: opt.NewOPTgen(ways, optgenWindowFactor*ways),
+		last:   make(map[uint64]gliderSample, optgenWindowFactor*ways),
+	}
+}
+
+// Glider is the Glider replacement policy.
+type Glider struct {
+	ways      int
+	state     rrpvState
+	predictor *gl.Predictor
+	samplers  map[int]*gliderSampler
+	accesses  uint64
+}
+
+// NewGlider builds a Glider policy with the paper's default predictor
+// configuration, sized for up to 8 cores.
+func NewGlider(sets, ways int) *Glider {
+	return NewGliderWithConfig(sets, ways, gl.DefaultConfig(8))
+}
+
+// NewGliderWithConfig builds a Glider policy with an explicit predictor
+// configuration (used by the ablation benchmarks).
+func NewGliderWithConfig(sets, ways int, cfg gl.Config) *Glider {
+	return &Glider{
+		ways:      ways,
+		state:     newRRPVState(sets, ways),
+		predictor: gl.NewPredictor(cfg),
+		samplers:  make(map[int]*gliderSampler),
+	}
+}
+
+// Name implements cache.Policy.
+func (p *Glider) Name() string { return "glider" }
+
+// Predictor exposes the underlying ISVM predictor (for accuracy
+// measurements and Table 3 cost reporting).
+func (p *Glider) Predictor() *gl.Predictor { return p.predictor }
+
+func (p *Glider) sampled(set int) *gliderSampler {
+	if set%samplerStride != 0 {
+		return nil
+	}
+	s, ok := p.samplers[set]
+	if !ok {
+		s = newGliderSampler(p.ways)
+		p.samplers[set] = s
+	}
+	return s
+}
+
+// Victim implements cache.Policy: averse lines (RRPV 7) first; otherwise
+// the oldest friendly line, detraining the features that inserted it.
+func (p *Glider) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	for w := range lines {
+		if p.state.rrpv[set][w] >= maxRRPV {
+			return w
+		}
+	}
+	victim, oldest := 0, uint8(0)
+	for w := range lines {
+		if p.state.rrpv[set][w] >= oldest {
+			oldest = p.state.rrpv[set][w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Update implements cache.Policy.
+func (p *Glider) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	if kind == trace.Writeback {
+		if way >= 0 && !hit {
+			p.state.rrpv[set][way] = maxRRPV
+		}
+		return
+	}
+
+	// Feature for this access: the PCHR contents *before* observing pc.
+	history := p.predictor.History(int(core))
+
+	// Train on sampled sets from OPTgen's reconstruction of MIN.
+	if s := p.sampled(set); s != nil {
+		switch s.optgen.Access(block) {
+		case opt.VerdictHit:
+			if prev, ok := s.last[block]; ok {
+				p.predictor.Train(prev.pc, prev.history, true)
+			}
+		case opt.VerdictMiss, opt.VerdictExpired:
+			if prev, ok := s.last[block]; ok {
+				p.predictor.Train(prev.pc, prev.history, false)
+			}
+		}
+		s.last[block] = gliderSample{pc: pc, history: history, time: s.optgen.Clock()}
+	}
+	p.accesses++
+	if p.accesses%sweepPeriod == 0 {
+		// Detrain entries whose blocks were never re-accessed within the
+		// window (never-reused lines are cache-averse). Swept on a global
+		// cadence; see sweepPeriod.
+		window := uint64(optgenWindowFactor * p.ways)
+		for _, s := range p.samplers {
+			now := s.optgen.Clock()
+			for b, e := range s.last {
+				if now-e.time > window {
+					p.predictor.Train(e.pc, e.history, false)
+					delete(s.last, b)
+				}
+			}
+		}
+	}
+
+	_, class := p.predictor.Predict(pc, history)
+	p.predictor.Observe(int(core), pc)
+
+	if way < 0 {
+		return
+	}
+	if hit {
+		switch class {
+		case gl.Averse:
+			p.state.rrpv[set][way] = maxRRPV
+		default:
+			p.state.rrpv[set][way] = 0
+		}
+		return
+	}
+	// Fill: insertion priority from the three-way prediction (§4.4).
+	switch class {
+	case gl.Friendly:
+		p.state.rrpv[set][way] = 0
+		for w := range p.state.rrpv[set] {
+			if w != way && p.state.rrpv[set][w] < maxRRPV-1 {
+				p.state.rrpv[set][w]++
+			}
+		}
+	case gl.FriendlyLowConfidence:
+		p.state.rrpv[set][way] = 2
+	default:
+		p.state.rrpv[set][way] = maxRRPV
+	}
+}
+
+// PredictFriendly reports whether the predictor would classify an access as
+// cache-friendly (ISVM sum at or above the averse boundary), without
+// touching any state — the binary classification Figure 10's accuracy
+// comparison is defined over.
+func (p *Glider) PredictFriendly(pc uint64, core uint8) bool {
+	sum := p.predictor.Sum(pc, p.predictor.History(int(core)))
+	return sum >= p.predictor.Config().AverseThreshold
+}

@@ -1,0 +1,181 @@
+// Package policy implements the cache replacement policies evaluated in the
+// paper: the LRU baseline, the RRIP family, and the 2nd Cache Replacement
+// Championship finishers SHiP++, MPPPB, and Hawkeye, plus the paper's
+// contribution, Glider (whose ISVM predictor lives in the glider package).
+//
+// Every policy implements cache.Policy: victim selection plus an update
+// callback on each access.
+package policy
+
+import (
+	"glider/internal/cache"
+	"glider/internal/trace"
+)
+
+// Factory constructs a policy for a cache with the given geometry. Policies
+// that need per-set or per-line state size themselves from it.
+type Factory func(sets, ways int) cache.Policy
+
+// Registry maps policy names (as used in figures and on the command line)
+// to factories.
+var Registry = map[string]Factory{
+	"lru":        func(s, w int) cache.Policy { return NewLRU(s, w) },
+	"mru":        func(s, w int) cache.Policy { return NewMRU(s, w) },
+	"random":     func(s, w int) cache.Policy { return NewRandom(s, w, 1) },
+	"srrip":      func(s, w int) cache.Policy { return NewSRRIP(s, w) },
+	"brrip":      func(s, w int) cache.Policy { return NewBRRIP(s, w, 1) },
+	"drrip":      func(s, w int) cache.Policy { return NewDRRIP(s, w, 1) },
+	"ship++":     func(s, w int) cache.Policy { return NewSHiPPP(s, w) },
+	"mpppb":      func(s, w int) cache.Policy { return NewMPPPB(s, w) },
+	"perceptron": func(s, w int) cache.Policy { return NewPerceptron(s, w) },
+	"hawkeye":    func(s, w int) cache.Policy { return NewHawkeye(s, w) },
+	"glider":     func(s, w int) cache.Policy { return NewGlider(s, w) },
+	"lip":        func(s, w int) cache.Policy { return NewLIP(s, w) },
+	"dip":        func(s, w int) cache.Policy { return NewDIP(s, w, 1) },
+	"sdbp":       func(s, w int) cache.Policy { return NewSDBP(s, w) },
+	"lfu":        func(s, w int) cache.Policy { return NewLFU(s, w) },
+	"lrfu":       func(s, w int) cache.Policy { return NewLRFU(s, w, 0.001) },
+	"eaf":        func(s, w int) cache.Policy { return NewEAF(s, w, 1) },
+}
+
+// New looks up a registered policy by name.
+func New(name string, sets, ways int) (cache.Policy, bool) {
+	f, ok := Registry[name]
+	if !ok {
+		return nil, false
+	}
+	return f(sets, ways), true
+}
+
+// hashPC mixes a PC into a table index in [0, size). size must be a power
+// of two.
+func hashPC(pc uint64, size int) int {
+	pc ^= pc >> 33
+	pc *= 0xff51afd7ed558ccd
+	pc ^= pc >> 33
+	pc *= 0xc4ceb9fe1a85ec53
+	pc ^= pc >> 33
+	return int(pc & uint64(size-1))
+}
+
+// xorshift64 is a tiny deterministic PRNG for the probabilistic policies
+// (BRRIP's long-interval insertions, Random replacement).
+type xorshift64 uint64
+
+func newXorshift(seed uint64) xorshift64 {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return xorshift64(seed)
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// intn returns a pseudo-random value in [0, n).
+func (x *xorshift64) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// --- LRU -------------------------------------------------------------------
+
+// LRU is the least-recently-used baseline policy all of the paper's
+// improvements are normalized against.
+type LRU struct {
+	ways  int
+	stamp [][]uint64
+	clock uint64
+}
+
+// NewLRU builds an LRU policy for the given geometry.
+func NewLRU(sets, ways int) *LRU {
+	l := &LRU{ways: ways, stamp: make([][]uint64, sets)}
+	backing := make([]uint64, sets*ways)
+	for i := range l.stamp {
+		l.stamp[i], backing = backing[:ways], backing[ways:]
+	}
+	return l
+}
+
+// Name implements cache.Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// Victim evicts the least recently used line.
+func (l *LRU) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	victim, oldest := 0, ^uint64(0)
+	for w := range lines {
+		if l.stamp[set][w] < oldest {
+			oldest = l.stamp[set][w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Update stamps the touched way with the current time.
+func (l *LRU) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	l.clock++
+	if way >= 0 {
+		l.stamp[set][way] = l.clock
+	}
+}
+
+// --- MRU -------------------------------------------------------------------
+
+// MRU evicts the most recently used line; it is the classic anti-thrashing
+// heuristic and a useful stress baseline in tests.
+type MRU struct {
+	lru *LRU
+}
+
+// NewMRU builds an MRU policy.
+func NewMRU(sets, ways int) *MRU { return &MRU{lru: NewLRU(sets, ways)} }
+
+// Name implements cache.Policy.
+func (m *MRU) Name() string { return "mru" }
+
+// Victim evicts the most recently used line.
+func (m *MRU) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	victim, newest := 0, uint64(0)
+	for w := range lines {
+		if m.lru.stamp[set][w] >= newest {
+			newest = m.lru.stamp[set][w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+// Update stamps the touched way.
+func (m *MRU) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	m.lru.Update(set, way, pc, block, core, hit, kind)
+}
+
+// --- Random ----------------------------------------------------------------
+
+// Random evicts a uniformly random line.
+type Random struct {
+	ways int
+	rng  xorshift64
+}
+
+// NewRandom builds a random-replacement policy with a deterministic seed.
+func NewRandom(sets, ways int, seed uint64) *Random {
+	return &Random{ways: ways, rng: newXorshift(seed)}
+}
+
+// Name implements cache.Policy.
+func (r *Random) Name() string { return "random" }
+
+// Victim picks a random way.
+func (r *Random) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	return r.rng.intn(r.ways)
+}
+
+// Update is a no-op for random replacement.
+func (r *Random) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+}

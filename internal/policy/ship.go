@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"glider/internal/cache"
+	"glider/internal/trace"
+)
+
+// SHiP++ (Young, Jaleel, Qureshi — CRC2 2017) enhances SHiP (Wu et al.,
+// MICRO 2011). A Signature History Counter Table (SHCT) indexed by a hashed
+// PC signature learns whether lines inserted by that signature are reused:
+// on a hit the signature's counter is incremented; when a never-reused line
+// is evicted the counter is decremented. Insertion RRPV is chosen from the
+// counter: untrusted signatures insert distant, trusted ones insert near.
+//
+// The ++ refinements modeled here: 3-bit SHCT counters with a
+// high-confidence fast path (saturated counter inserts at RRPV 0),
+// writebacks insert distant without training, and hits only promote to
+// RRPV 0 on the second touch (intermediate promotion to 1).
+
+// shctSize is the number of SHCT entries (14-bit signature in the original;
+// sized down proportionally to our 2K-PC workloads).
+const shctSize = 16384
+
+// shctMax is the saturating counter maximum (3-bit).
+const shctMax = 7
+
+// SHiPPP is the SHiP++ replacement policy.
+type SHiPPP struct {
+	state rrpvState
+	shct  []uint8
+	// Per-line training state.
+	sig     [][]uint16 // signature that inserted the line
+	reused  [][]bool   // outcome bit: has the line hit since fill?
+	touches [][]uint8  // hit count for staged promotion
+}
+
+// NewSHiPPP builds a SHiP++ policy.
+func NewSHiPPP(sets, ways int) *SHiPPP {
+	p := &SHiPPP{
+		state: newRRPVState(sets, ways),
+		shct:  make([]uint8, shctSize),
+	}
+	for i := range p.shct {
+		p.shct[i] = 1 // weakly not-reused, as in the reference code
+	}
+	p.sig = make([][]uint16, sets)
+	p.reused = make([][]bool, sets)
+	p.touches = make([][]uint8, sets)
+	sigB := make([]uint16, sets*ways)
+	reB := make([]bool, sets*ways)
+	toB := make([]uint8, sets*ways)
+	for i := 0; i < sets; i++ {
+		p.sig[i], sigB = sigB[:ways], sigB[ways:]
+		p.reused[i], reB = reB[:ways], reB[ways:]
+		p.touches[i], toB = toB[:ways], toB[ways:]
+	}
+	return p
+}
+
+// Name implements cache.Policy.
+func (p *SHiPPP) Name() string { return "ship++" }
+
+func shipSignature(pc uint64) uint16 {
+	return uint16(hashPC(pc, shctSize))
+}
+
+// Victim implements cache.Policy: standard RRPV victim selection, with
+// detraining of never-reused lines.
+func (p *SHiPPP) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	w := p.state.victim(set)
+	if lines[w].Valid && !p.reused[set][w] {
+		s := p.sig[set][w]
+		if p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+	return w
+}
+
+// Update implements cache.Policy.
+func (p *SHiPPP) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	if way < 0 {
+		return
+	}
+	if hit {
+		if kind != trace.Writeback {
+			s := p.sig[set][way]
+			if !p.reused[set][way] && p.shct[s] < shctMax {
+				p.shct[s]++
+			}
+			p.reused[set][way] = true
+			// Staged promotion: first re-touch to RRPV 1, later to 0.
+			if p.touches[set][way] == 0 {
+				p.state.rrpv[set][way] = 1
+			} else {
+				p.state.rrpv[set][way] = 0
+			}
+			if p.touches[set][way] < 255 {
+				p.touches[set][way]++
+			}
+		}
+		return
+	}
+	// Fill.
+	s := shipSignature(pc)
+	p.sig[set][way] = s
+	p.reused[set][way] = false
+	p.touches[set][way] = 0
+	switch {
+	case kind == trace.Writeback:
+		p.state.rrpv[set][way] = maxRRPV
+	case p.shct[s] == 0:
+		p.state.rrpv[set][way] = maxRRPV
+	case p.shct[s] == shctMax:
+		p.state.rrpv[set][way] = 0
+	default:
+		p.state.rrpv[set][way] = maxRRPV - 1
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ChampSim trace import: the paper evaluates with the CRC2 framework, which
+// replays ChampSim instruction traces. This decoder converts that format
+// into this package's access stream so real SimPoint traces can be run
+// through the simulator in place of the synthetic workloads.
+//
+// A ChampSim record is 64 bytes:
+//
+//	ip                    uint64
+//	is_branch             uint8
+//	branch_taken          uint8
+//	destination_registers [2]uint8
+//	source_registers      [4]uint8
+//	destination_memory    [2]uint64   (store addresses; 0 = unused)
+//	source_memory         [4]uint64   (load addresses; 0 = unused)
+//
+// Each non-zero memory slot becomes one Access with the instruction's IP as
+// the PC. Instructions without memory operands contribute nothing (the
+// cache simulator consumes only memory references).
+
+// ChampSimRecordSize is the fixed record size in bytes.
+const ChampSimRecordSize = 64
+
+// ReadChampSim decodes a raw (uncompressed) ChampSim instruction trace.
+// maxAccesses bounds the output (0 = unlimited).
+func ReadChampSim(r io.Reader, name string, maxAccesses int) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	t := New(name, 1<<16)
+	var rec [ChampSimRecordSize]byte
+	for {
+		if maxAccesses > 0 && t.Len() >= maxAccesses {
+			break
+		}
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: truncated ChampSim record at access %d", t.Len())
+		}
+		if err != nil {
+			return nil, err
+		}
+		ip := binary.LittleEndian.Uint64(rec[0:8])
+		// destination_memory at offset 16: two store addresses.
+		for i := 0; i < 2; i++ {
+			addr := binary.LittleEndian.Uint64(rec[16+8*i : 24+8*i])
+			if addr != 0 {
+				t.Append(Access{PC: ip, Addr: addr, Kind: Store})
+			}
+		}
+		// source_memory at offset 32: four load addresses.
+		for i := 0; i < 4; i++ {
+			addr := binary.LittleEndian.Uint64(rec[32+8*i : 40+8*i])
+			if addr != 0 {
+				t.Append(Access{PC: ip, Addr: addr, Kind: Load})
+			}
+		}
+	}
+	return t, nil
+}
+
+// ReadChampSimGzip decodes a gzip-compressed ChampSim trace (the common
+// distribution format; xz-compressed traces must be decompressed
+// externally first).
+func ReadChampSimGzip(r io.Reader, name string, maxAccesses int) (*Trace, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening gzip ChampSim trace: %w", err)
+	}
+	defer gz.Close()
+	return ReadChampSim(gz, name, maxAccesses)
+}
+
+// WriteChampSim encodes the trace in ChampSim record format (one record per
+// access, memory slot chosen by kind) — primarily for tests and for
+// exporting synthetic workloads to ChampSim-based simulators. Writebacks
+// are skipped (ChampSim derives them from cache state).
+func WriteChampSim(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	var rec [ChampSimRecordSize]byte
+	for _, a := range t.Accesses {
+		for i := range rec {
+			rec[i] = 0
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], a.PC)
+		switch a.Kind {
+		case Store:
+			binary.LittleEndian.PutUint64(rec[16:24], a.Addr)
+		case Load:
+			binary.LittleEndian.PutUint64(rec[32:40], a.Addr)
+		default:
+			continue
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// buildChampSimRecord assembles one 64-byte record.
+func buildChampSimRecord(ip uint64, stores, loads []uint64) []byte {
+	rec := make([]byte, ChampSimRecordSize)
+	binary.LittleEndian.PutUint64(rec[0:8], ip)
+	for i, a := range stores {
+		binary.LittleEndian.PutUint64(rec[16+8*i:24+8*i], a)
+	}
+	for i, a := range loads {
+		binary.LittleEndian.PutUint64(rec[32+8*i:40+8*i], a)
+	}
+	return rec
+}
+
+func TestReadChampSimExpandsMemorySlots(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(buildChampSimRecord(0x400100, []uint64{0x1000}, []uint64{0x2000, 0x3000}))
+	buf.Write(buildChampSimRecord(0x400104, nil, nil)) // non-memory instr
+	buf.Write(buildChampSimRecord(0x400108, nil, []uint64{0x4000}))
+
+	tr, err := ReadChampSim(&buf, "cs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("got %d accesses, want 4", tr.Len())
+	}
+	if tr.Accesses[0].Kind != Store || tr.Accesses[0].Addr != 0x1000 || tr.Accesses[0].PC != 0x400100 {
+		t.Fatalf("store record wrong: %+v", tr.Accesses[0])
+	}
+	if tr.Accesses[1].Kind != Load || tr.Accesses[1].Addr != 0x2000 {
+		t.Fatalf("first load wrong: %+v", tr.Accesses[1])
+	}
+	if tr.Accesses[3].PC != 0x400108 {
+		t.Fatalf("third record PC wrong: %+v", tr.Accesses[3])
+	}
+}
+
+func TestReadChampSimMaxAccesses(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		buf.Write(buildChampSimRecord(uint64(i), nil, []uint64{uint64(0x1000 + i*64)}))
+	}
+	tr, err := ReadChampSim(&buf, "cs", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("cap ignored: %d accesses", tr.Len())
+	}
+}
+
+func TestReadChampSimTruncated(t *testing.T) {
+	buf := bytes.NewReader(make([]byte, ChampSimRecordSize+10))
+	if _, err := ReadChampSim(buf, "cs", 0); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestChampSimRoundTrip(t *testing.T) {
+	orig := New("rt", 3)
+	orig.Append(Access{PC: 0x400000, Addr: 0x8000, Kind: Load})
+	orig.Append(Access{PC: 0x400004, Addr: 0x9000, Kind: Store})
+	orig.Append(Access{PC: 0x400008, Addr: 0xa000, Kind: Writeback}) // skipped
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 2*ChampSimRecordSize {
+		t.Fatalf("encoded %d bytes, want 2 records", buf.Len())
+	}
+	got, err := ReadChampSim(&buf, "rt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip %d accesses, want 2", got.Len())
+	}
+	if got.Accesses[0].PC != 0x400000 || got.Accesses[0].Kind != Load {
+		t.Fatalf("load lost: %+v", got.Accesses[0])
+	}
+	if got.Accesses[1].Kind != Store || got.Accesses[1].Addr != 0x9000 {
+		t.Fatalf("store lost: %+v", got.Accesses[1])
+	}
+}
+
+func TestChampSimGzipRoundTrip(t *testing.T) {
+	orig := New("gz", 1)
+	orig.Append(Access{PC: 1, Addr: 0x1000, Kind: Load})
+	var raw, gz bytes.Buffer
+	if err := WriteChampSim(&raw, orig); err != nil {
+		t.Fatal(err)
+	}
+	zw := newGzipWriter(&gz)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChampSimGzip(&gz, "gz", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Accesses[0].Addr != 0x1000 {
+		t.Fatalf("gzip round trip: %+v", got.Accesses)
+	}
+}
+
+func TestReadChampSimGzipRejectsRaw(t *testing.T) {
+	if _, err := ReadChampSimGzip(bytes.NewReader([]byte("raw bytes")), "x", 0); err == nil {
+		t.Fatal("non-gzip input accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Reuse-distance analysis: the stack distance (number of distinct blocks
+// touched between consecutive references to the same block) determines
+// which cache level can capture a pattern's reuse — the quantity the
+// workload generators in the workload package are calibrated against.
+
+// ReuseProfile summarizes a trace's reuse-distance distribution.
+type ReuseProfile struct {
+	// Samples is the number of reuses measured (accesses with a previous
+	// reference to the same block).
+	Samples int
+	// ColdMisses is the number of first-touch accesses.
+	ColdMisses int
+	// Buckets holds counts per power-of-two distance bucket: Buckets[i]
+	// counts reuses with distance in [2^i, 2^(i+1)).
+	Buckets []int
+	// PerPC maps each PC to its median reuse distance (−1 when the PC
+	// never reuses).
+	PerPC map[uint64]int
+}
+
+// maxReuseBuckets bounds the bucket count (2^30 distinct blocks ≫ any LLC).
+const maxReuseBuckets = 31
+
+// ReuseDistances computes the exact stack-distance profile of a trace using
+// a balanced-BIT (Fenwick tree) over last-access positions — O(N log N).
+// perPC enables the per-PC medians (extra memory proportional to reuses).
+func ReuseDistances(t *Trace, perPC bool) ReuseProfile {
+	n := t.Len()
+	prof := ReuseProfile{Buckets: make([]int, maxReuseBuckets)}
+	if n == 0 {
+		return prof
+	}
+	// Fenwick tree over access positions: tree[i] = 1 when position i was
+	// the *most recent* access to some block.
+	tree := make([]int, n+1)
+	add := func(i, v int) {
+		for i++; i <= n; i += i & (-i) {
+			tree[i] += v
+		}
+	}
+	sum := func(i int) int { // prefix sum of [0, i]
+		s := 0
+		for i++; i > 0; i -= i & (-i) {
+			s += tree[i]
+		}
+		return s
+	}
+
+	last := make(map[uint64]int, 1024)
+	var perPCd map[uint64][]int
+	if perPC {
+		perPCd = make(map[uint64][]int)
+	}
+	for i, a := range t.Accesses {
+		b := a.Block()
+		if j, ok := last[b]; ok {
+			// Distinct blocks touched in (j, i) = active markers after j.
+			dist := sum(i-1) - sum(j)
+			prof.Samples++
+			prof.Buckets[bucketFor(dist)]++
+			if perPC {
+				perPCd[a.PC] = append(perPCd[a.PC], dist)
+			}
+			add(j, -1)
+		} else {
+			prof.ColdMisses++
+		}
+		last[b] = i
+		add(i, 1)
+	}
+	if perPC {
+		prof.PerPC = make(map[uint64]int, len(perPCd))
+		seen := make(map[uint64]bool)
+		for _, a := range t.Accesses {
+			seen[a.PC] = true
+		}
+		for pc := range seen {
+			ds := perPCd[pc]
+			if len(ds) == 0 {
+				prof.PerPC[pc] = -1
+				continue
+			}
+			sort.Ints(ds)
+			prof.PerPC[pc] = ds[len(ds)/2]
+		}
+	}
+	return prof
+}
+
+func bucketFor(dist int) int {
+	b := 0
+	for dist > 1 && b < maxReuseBuckets-1 {
+		dist >>= 1
+		b++
+	}
+	return b
+}
+
+// CapturedBy returns the fraction of reuses with stack distance below the
+// given capacity (in blocks) — an upper bound on the hit rate a
+// fully-associative LRU cache of that size achieves on the trace.
+func (p ReuseProfile) CapturedBy(capacityBlocks int) float64 {
+	if p.Samples == 0 {
+		return 0
+	}
+	captured := 0
+	for i, c := range p.Buckets {
+		// Bucket i covers [2^i, 2^(i+1)); count it when the whole bucket
+		// fits (conservative).
+		if 1<<(i+1) <= capacityBlocks {
+			captured += c
+		}
+	}
+	return float64(captured) / float64(p.Samples)
+}
+
+// Render writes a text histogram of the profile.
+func (p ReuseProfile) Render(w io.Writer) {
+	fmt.Fprintf(w, "reuse-distance profile: %d reuses, %d cold misses\n", p.Samples, p.ColdMisses)
+	max := 0
+	for _, c := range p.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range p.Buckets {
+		if c == 0 {
+			continue
+		}
+		bar := ""
+		if max > 0 {
+			n := c * 40 / max
+			for j := 0; j < n; j++ {
+				bar += "#"
+			}
+		}
+		fmt.Fprintf(w, "  2^%-2d–2^%-2d %9d %s\n", i, i+1, c, bar)
+	}
+}

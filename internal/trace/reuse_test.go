@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func blockTrace(blocks ...uint64) *Trace {
+	t := New("t", len(blocks))
+	for _, b := range blocks {
+		t.Append(Access{PC: 1, Addr: b << BlockShift})
+	}
+	return t
+}
+
+// bruteReuse computes stack distances by scanning (O(N²) reference).
+func bruteReuse(blocks []uint64) (dists []int, cold int) {
+	last := map[uint64]int{}
+	for i, b := range blocks {
+		if j, ok := last[b]; ok {
+			distinct := map[uint64]bool{}
+			for k := j + 1; k < i; k++ {
+				distinct[blocks[k]] = true
+			}
+			dists = append(dists, len(distinct))
+		} else {
+			cold++
+		}
+		last[b] = i
+	}
+	return dists, cold
+}
+
+func TestReuseDistancesSimple(t *testing.T) {
+	// 1 2 3 1: the reuse of 1 has distance 2 (blocks 2 and 3 between).
+	p := ReuseDistances(blockTrace(1, 2, 3, 1), false)
+	if p.Samples != 1 || p.ColdMisses != 3 {
+		t.Fatalf("profile %+v", p)
+	}
+	if p.Buckets[bucketFor(2)] != 1 {
+		t.Fatalf("distance 2 not in expected bucket: %v", p.Buckets)
+	}
+}
+
+func TestReuseDistancesImmediateReuse(t *testing.T) {
+	p := ReuseDistances(blockTrace(5, 5, 5), false)
+	if p.Samples != 2 || p.ColdMisses != 1 {
+		t.Fatalf("profile %+v", p)
+	}
+	if p.Buckets[0] != 2 {
+		t.Fatalf("distance-0 reuses missing: %v", p.Buckets)
+	}
+}
+
+func TestReuseDistancesMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(150)
+		blocks := make([]uint64, n)
+		for i := range blocks {
+			blocks[i] = uint64(r.Intn(12))
+		}
+		p := ReuseDistances(blockTrace(blocks...), false)
+		dists, cold := bruteReuse(blocks)
+		if p.Samples != len(dists) || p.ColdMisses != cold {
+			return false
+		}
+		want := make([]int, maxReuseBuckets)
+		for _, d := range dists {
+			want[bucketFor(d)]++
+		}
+		for i := range want {
+			if want[i] != p.Buckets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerPCMedians(t *testing.T) {
+	tr := New("t", 0)
+	// PC 1 reuses block 7 with distance 1 (block 9 between); PC 2 never
+	// reuses.
+	tr.Append(Access{PC: 1, Addr: 7 << BlockShift})
+	tr.Append(Access{PC: 2, Addr: 9 << BlockShift})
+	tr.Append(Access{PC: 1, Addr: 7 << BlockShift})
+	p := ReuseDistances(tr, true)
+	if p.PerPC[1] != 1 {
+		t.Fatalf("PC 1 median = %d, want 1", p.PerPC[1])
+	}
+	if p.PerPC[2] != -1 {
+		t.Fatalf("PC 2 median = %d, want -1 (no reuse)", p.PerPC[2])
+	}
+}
+
+func TestCapturedBy(t *testing.T) {
+	// All reuses at distance 2 → captured by capacity 8 (bucket [2,4) fits),
+	// not by capacity 2.
+	p := ReuseDistances(blockTrace(1, 2, 3, 1, 2, 3, 1, 2, 3), false)
+	if got := p.CapturedBy(8); got != 1 {
+		t.Fatalf("CapturedBy(8) = %v, want 1", got)
+	}
+	if got := p.CapturedBy(2); got != 0 {
+		t.Fatalf("CapturedBy(2) = %v, want 0", got)
+	}
+}
+
+func TestCapturedByEmpty(t *testing.T) {
+	if (ReuseProfile{}).CapturedBy(100) != 0 {
+		t.Fatal("empty profile should capture nothing")
+	}
+}
+
+func TestReuseRender(t *testing.T) {
+	p := ReuseDistances(blockTrace(1, 2, 1, 2), false)
+	var buf bytes.Buffer
+	p.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestReuseEmptyTrace(t *testing.T) {
+	p := ReuseDistances(New("e", 0), true)
+	if p.Samples != 0 || p.ColdMisses != 0 {
+		t.Fatalf("profile %+v", p)
+	}
+}

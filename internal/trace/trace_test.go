@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	t := New("sample", 4)
+	t.Append(Access{PC: 0x400000, Addr: 0x1000, Core: 0, Kind: Load})
+	t.Append(Access{PC: 0x400004, Addr: 0x1040, Core: 1, Kind: Store})
+	t.Append(Access{PC: 0x400008, Addr: 0x2000, Core: 0, Kind: Writeback})
+	t.Append(Access{PC: 0x400000, Addr: 0x1000, Core: 0, Kind: Load})
+	return t
+}
+
+func TestBlockAlignment(t *testing.T) {
+	a := Access{Addr: 0x1043}
+	if a.Block() != 0x1043>>BlockShift {
+		t.Fatalf("Block = %#x", a.Block())
+	}
+	if BlockSize != 64 {
+		t.Fatalf("BlockSize = %d, want 64", BlockSize)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" || Writeback.String() != "writeback" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind should include its value")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || !reflect.DeepEqual(got.Accesses, orig.Accesses) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || !reflect.DeepEqual(got.Accesses, orig.Accesses) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := New("prop", int(n))
+		for i := 0; i < int(n); i++ {
+			orig.Append(Access{
+				PC:   r.Uint64(),
+				Addr: r.Uint64(),
+				Core: uint8(r.Intn(8)),
+				Kind: Kind(r.Intn(3)),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Accesses, orig.Accesses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadTextRejectsBadLines(t *testing.T) {
+	for _, in := range []string{"one two\n", "zz 10 0 0\n", "10 zz 0 0\n", "10 10 999 0\n", "10 10 0 9\n"} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("bad input %q accepted", in)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlank(t *testing.T) {
+	in := "# trace foo\n\n# comment\n10 40 0 0\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "foo" || got.Len() != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Summarize()
+	if s.Accesses != 4 || s.PCs != 3 || s.Addrs != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AccessesPerPC != 4.0/3.0 || s.AccessesPerAddr != 4.0/3.0 {
+		t.Fatalf("ratios %+v", s)
+	}
+}
+
+func TestPCsSorted(t *testing.T) {
+	tr := sampleTrace()
+	pcs := tr.PCs()
+	if len(pcs) != 3 {
+		t.Fatalf("got %d PCs", len(pcs))
+	}
+	for i := 1; i < len(pcs); i++ {
+		if pcs[i-1] >= pcs[i] {
+			t.Fatal("PCs not sorted ascending")
+		}
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.Slice(-5, 100).Len(); got != 4 {
+		t.Fatalf("clamped slice len = %d", got)
+	}
+	if got := tr.Slice(3, 1).Len(); got != 0 {
+		t.Fatalf("inverted slice len = %d", got)
+	}
+	if got := tr.Slice(1, 3).Len(); got != 2 {
+		t.Fatalf("slice len = %d", got)
+	}
+}
+
+func TestInterleaveTagsCores(t *testing.T) {
+	a := New("a", 2)
+	a.Append(Access{PC: 1, Addr: 0x40})
+	a.Append(Access{PC: 2, Addr: 0x80})
+	b := New("b", 1)
+	b.Append(Access{PC: 3, Addr: 0xc0})
+	m := Interleave("mix", a, b)
+	if m.Len() != 4 {
+		t.Fatalf("interleave len = %d, want 4", m.Len())
+	}
+	// Round-robin: a[0], b[0], a[1], b[0] (b wraps).
+	wantCores := []uint8{0, 1, 0, 1}
+	for i, a := range m.Accesses {
+		if a.Core != wantCores[i] {
+			t.Fatalf("access %d core = %d, want %d", i, a.Core, wantCores[i])
+		}
+	}
+	if m.Accesses[3].PC != 3 {
+		t.Fatal("short trace did not wrap")
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	if got := Interleave("x").Len(); got != 0 {
+		t.Fatalf("empty interleave len = %d", got)
+	}
+	if got := Interleave("x", New("a", 0)).Len(); got != 0 {
+		t.Fatalf("interleave of empty trace len = %d", got)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinaryGzip(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || !reflect.DeepEqual(got.Accesses, orig.Accesses) {
+		t.Fatal("gzip round trip mismatch")
+	}
+}
+
+func TestReadAutoDetectsAllFormats(t *testing.T) {
+	orig := sampleTrace()
+	var bin, txt, gz bytes.Buffer
+	if err := WriteBinary(&bin, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryGzip(&gz, orig); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"binary": &bin, "text": &txt, "gzip": &gz} {
+		got, err := ReadAuto(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Accesses, orig.Accesses) {
+			t.Fatalf("%s: mismatch", name)
+		}
+	}
+}
+
+func TestReadAutoEmptyInput(t *testing.T) {
+	if _, err := ReadAuto(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	tr := New("big", 10000)
+	for i := 0; i < 10000; i++ {
+		tr.Append(Access{PC: 5, Addr: uint64(i) << BlockShift})
+	}
+	var raw, gz bytes.Buffer
+	if err := WriteBinary(&raw, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryGzip(&gz, tr); err != nil {
+		t.Fatal(err)
+	}
+	if gz.Len() >= raw.Len()/2 {
+		t.Fatalf("gzip %d bytes vs raw %d: insufficient compression", gz.Len(), raw.Len())
+	}
+}

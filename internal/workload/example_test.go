@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"glider/internal/workload"
+)
+
+// Benchmarks generate deterministically from (name, length, seed).
+func ExampleSpec_Generate() {
+	spec, err := workload.Lookup("omnetpp")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	t := spec.Generate(10000, 42)
+	again := spec.Generate(10000, 42)
+	fmt.Println("length:", t.Len())
+	fmt.Println("deterministic:", t.Accesses[9999] == again.Accesses[9999])
+	// Output:
+	// length: 10000
+	// deterministic: true
+}
+
+// Mixes reproduce the paper's multi-core methodology: deterministic
+// combinations of the single-core suite.
+func ExampleMixes() {
+	mixes := workload.Mixes(2, 4, 7)
+	for _, m := range mixes {
+		fmt.Print("mix", m.ID, ":")
+		for _, s := range m.Members {
+			fmt.Print(" ", s.Name)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// mix0: 620.omnetpp bzip2 leslie3d cc
+	// mix1: 605.mcf 621.wrf 649.fotonik3d soplex
+}

@@ -1,0 +1,415 @@
+package workload
+
+import (
+	"math/rand"
+
+	"glider/internal/trace"
+)
+
+// An emitter produces one access at a time for a single access-pattern class.
+// Emitters are composed by the workload scheduler to form full benchmarks.
+type emitter interface {
+	next(r *rand.Rand) trace.Access
+}
+
+// blockAddr converts a block index within an emitter's private address region
+// into a byte address.
+func blockAddr(base, block uint64) uint64 {
+	return (base + block) << trace.BlockShift
+}
+
+// streamEmitter models a sequential sweep over an array much larger than the
+// LLC (e.g. lbm, libquantum, bwaves inner loops). Every access is a
+// compulsory-or-capacity miss under any policy: the optimal decision for
+// these lines is cache-averse, and the behaviour is perfectly predictable
+// from the PC alone.
+type streamEmitter struct {
+	pcBase   uint64
+	addrBase uint64
+	blocks   uint64 // region size in blocks; the cursor wraps
+	stride   uint64 // in blocks
+	pcCount  uint64 // distinct PCs rotating over the stream
+	cursor   uint64
+	issued   uint64
+}
+
+func newStreamEmitter(pcBase, addrBase, blocks, stride, pcCount uint64) *streamEmitter {
+	if stride == 0 {
+		stride = 1
+	}
+	if pcCount == 0 {
+		pcCount = 1
+	}
+	return &streamEmitter{pcBase: pcBase, addrBase: addrBase, blocks: blocks, stride: stride, pcCount: pcCount}
+}
+
+// streamRunLen is how many consecutive accesses keep the same PC: real
+// streaming loops issue long runs from one load instruction, which is what
+// starves short *ordered* PC histories of context (§2.1).
+const streamRunLen = 192
+
+func (e *streamEmitter) next(r *rand.Rand) trace.Access {
+	a := trace.Access{
+		PC:   e.pcBase + (e.issued/streamRunLen)%e.pcCount,
+		Addr: blockAddr(e.addrBase, e.cursor),
+		Kind: trace.Load,
+	}
+	e.cursor = (e.cursor + e.stride) % e.blocks
+	e.issued++
+	return a
+}
+
+// hotLoopEmitter models a small working set reused continuously (hot data
+// structures, lookup tables). The set fits in the LLC, so the optimal
+// decision is cache-friendly and PC-predictable.
+type hotLoopEmitter struct {
+	pcBase   uint64
+	addrBase uint64
+	blocks   uint64
+	pcCount  uint64
+	cursor   uint64
+	issued   uint64
+}
+
+func newHotLoopEmitter(pcBase, addrBase, blocks, pcCount uint64) *hotLoopEmitter {
+	if pcCount == 0 {
+		pcCount = 1
+	}
+	return &hotLoopEmitter{pcBase: pcBase, addrBase: addrBase, blocks: blocks, pcCount: pcCount}
+}
+
+func (e *hotLoopEmitter) next(r *rand.Rand) trace.Access {
+	a := trace.Access{
+		PC:   e.pcBase + (e.issued/streamRunLen)%e.pcCount,
+		Addr: blockAddr(e.addrBase, e.cursor),
+		Kind: trace.Load,
+	}
+	e.cursor = (e.cursor + 1) % e.blocks
+	e.issued++
+	return a
+}
+
+// thrashEmitter models a cyclic scan over a region slightly larger than the
+// cache share available to it. LRU misses on every access; the optimal
+// policy pins a subset of the region and hits on it. Because the retained
+// subset is address-determined, per-PC predictors see mixed behaviour unless
+// PCs partition the region, which this emitter arranges: each PC covers a
+// contiguous sub-range, so PC identity carries partial information.
+type thrashEmitter struct {
+	pcBase   uint64
+	addrBase uint64
+	blocks   uint64
+	pcCount  uint64
+	cursor   uint64
+}
+
+func newThrashEmitter(pcBase, addrBase, blocks, pcCount uint64) *thrashEmitter {
+	if pcCount == 0 {
+		pcCount = 1
+	}
+	return &thrashEmitter{pcBase: pcBase, addrBase: addrBase, blocks: blocks, pcCount: pcCount}
+}
+
+func (e *thrashEmitter) next(r *rand.Rand) trace.Access {
+	// PC is a function of the region chunk so that address subsets are
+	// visible to PC-indexed predictors.
+	chunk := e.cursor * e.pcCount / e.blocks
+	a := trace.Access{
+		PC:   e.pcBase + chunk,
+		Addr: blockAddr(e.addrBase, e.cursor),
+		Kind: trace.Load,
+	}
+	e.cursor = (e.cursor + 1) % e.blocks
+	return a
+}
+
+// contextCallEmitter is the central pattern for the paper's insight: a set
+// of shared target PCs (a callee such as omnetpp's scheduleAt) whose caching
+// behaviour depends on the calling context, not on the target PC itself.
+//
+// Each caller has its own caller PC and passes the callee an object drawn
+// from a caller-specific pool: "friendly" callers use a small pool that is
+// re-referenced quickly (optimal decision: cache), while "averse" callers
+// draw from a huge pool that is effectively never reused (optimal decision:
+// bypass). Between the caller marker PC and the callee body the emitter
+// issues a configurable number of noise accesses, so ordered short-history
+// predictors lose the context while unordered longer histories (Glider's
+// PCHR, the LSTM's attention) retain it.
+type contextCallEmitter struct {
+	callerPCs  []uint64 // one marker PC per caller
+	friendly   []bool   // whether caller i's objects are cache-friendly
+	targetPCs  []uint64 // shared callee body PCs
+	noisePCs   []uint64 // filler PCs between caller and callee
+	noiseAddr  uint64   // base of noise address region
+	noiseSpan  uint64   // blocks of (streaming, averse) noise data
+	hotBase    uint64   // base of the friendly object pool
+	hotBlocks  uint64
+	coldBase   uint64 // base of the averse object pool
+	coldBlocks uint64
+	noiseLen   int // noise accesses between caller marker and callee body
+	markerSpan uint64
+
+	// queue holds the remainder of the current call sequence.
+	queue      []trace.Access
+	noiseCur   uint64
+	markerCur  uint64
+	hotCursor  uint64
+	coldCursor uint64
+}
+
+type contextCallConfig struct {
+	pcBase     uint64
+	addrBase   uint64
+	callers    int
+	friendlyN  int // how many of the callers are cache-friendly
+	targets    int
+	noiseLen   int
+	hotBlocks  uint64
+	coldBlocks uint64
+}
+
+func newContextCallEmitter(cfg contextCallConfig) *contextCallEmitter {
+	if cfg.noiseLen < 1 {
+		cfg.noiseLen = 1
+	}
+	e := &contextCallEmitter{
+		noiseAddr:  cfg.addrBase,
+		noiseSpan:  1 << 16,
+		hotBase:    cfg.addrBase + 1<<20,
+		hotBlocks:  cfg.hotBlocks,
+		coldBase:   cfg.addrBase + 2<<20,
+		coldBlocks: cfg.coldBlocks,
+		noiseLen:   cfg.noiseLen,
+		markerSpan: 1 << 15,
+	}
+	pc := cfg.pcBase
+	for i := 0; i < cfg.callers; i++ {
+		e.callerPCs = append(e.callerPCs, pc)
+		pc++
+		e.friendly = append(e.friendly, i < cfg.friendlyN)
+	}
+	for i := 0; i < cfg.targets; i++ {
+		e.targetPCs = append(e.targetPCs, pc)
+		pc++
+	}
+	for i := 0; i < 8; i++ {
+		e.noisePCs = append(e.noisePCs, pc)
+		pc++
+	}
+	return e
+}
+
+// CallerPCs exposes the caller marker PCs (used by the Table 4 experiment to
+// identify the anchor PC).
+func (e *contextCallEmitter) CallerPCs() []uint64 { return e.callerPCs }
+
+// TargetPCs exposes the shared callee PCs.
+func (e *contextCallEmitter) TargetPCs() []uint64 { return e.targetPCs }
+
+func (e *contextCallEmitter) refill(r *rand.Rand) {
+	caller := r.Intn(len(e.callerPCs))
+	var obj uint64
+	if e.friendly[caller] {
+		obj = e.hotBase + e.hotCursor%e.hotBlocks
+		e.hotCursor++
+	} else {
+		obj = e.coldBase + e.coldCursor%e.coldBlocks
+		// Advance by a large co-prime step so consecutive cold objects are
+		// far apart and effectively never reused.
+		e.coldCursor += 97
+	}
+	// Caller marker access: each caller walks its own streaming region so
+	// the marker access itself reaches the LLC (a fixed hot line would be
+	// absorbed by the L1/L2 and the calling context would be invisible to
+	// LLC-level predictors). Marker lines are consistently cache-averse.
+	e.markerCur++
+	e.queue = append(e.queue, trace.Access{
+		PC:   e.callerPCs[caller],
+		Addr: blockAddr(e.hotBase+e.hotBlocks+uint64(caller+1)*e.markerSpan, e.markerCur%e.markerSpan),
+		Kind: trace.Load,
+	})
+	// Noise: streaming accesses between the caller and the callee body.
+	// One noise PC per call, repeated a varying number of times
+	// (1..noiseLen): the caller marker then lands at a varying *position*
+	// in an ordered history — fragmenting position-sensitive
+	// representations — while remaining a single entry of the unordered
+	// unique-PC history regardless of the repetition count.
+	noise := 1 + r.Intn(e.noiseLen)
+	noisePC := e.noisePCs[int(e.noiseCur/7)%len(e.noisePCs)]
+	for i := 0; i < noise; i++ {
+		e.queue = append(e.queue, trace.Access{
+			PC:   noisePC,
+			Addr: blockAddr(e.noiseAddr, e.noiseCur%e.noiseSpan),
+			Kind: trace.Load,
+		})
+		e.noiseCur++
+	}
+	// Callee body: each target PC touches a block of the caller's object.
+	for i, tpc := range e.targetPCs {
+		e.queue = append(e.queue, trace.Access{
+			PC:   tpc,
+			Addr: blockAddr(obj*8, uint64(i)),
+			Kind: trace.Load,
+		})
+	}
+}
+
+func (e *contextCallEmitter) next(r *rand.Rand) trace.Access {
+	if len(e.queue) == 0 {
+		e.refill(r)
+	}
+	a := e.queue[0]
+	e.queue = e.queue[1:]
+	return a
+}
+
+// gatherEmitter models graph-style gathers: addresses drawn from a Zipf-like
+// popularity distribution over a large vertex array. Popular (hub) vertices
+// are re-referenced quickly and are worth caching; tail vertices are not.
+// A "frontier" PC issues sequential scans (averse) interleaved with the
+// gathers, mimicking CSR traversal.
+type gatherEmitter struct {
+	pcGather   uint64
+	pcFrontier uint64
+	addrBase   uint64
+	hubBlocks  uint64 // popular region
+	tailBlocks uint64
+	hubProb    float64 // probability a gather hits the hub region
+	frontierN  int     // frontier accesses per gather burst
+	burstLen   int
+	state      int
+	frontier   uint64
+	span       uint64
+}
+
+func newGatherEmitter(pcBase, addrBase, hubBlocks, tailBlocks uint64, hubProb float64, frontierN, burstLen int) *gatherEmitter {
+	return &gatherEmitter{
+		pcGather:   pcBase,
+		pcFrontier: pcBase + 1,
+		addrBase:   addrBase,
+		hubBlocks:  hubBlocks,
+		tailBlocks: tailBlocks,
+		hubProb:    hubProb,
+		frontierN:  frontierN,
+		burstLen:   burstLen,
+		span:       1 << 18,
+	}
+}
+
+func (e *gatherEmitter) next(r *rand.Rand) trace.Access {
+	cycle := e.frontierN + e.burstLen
+	pos := e.state % cycle
+	e.state++
+	if pos < e.frontierN {
+		// Sequential frontier scan: cache-averse.
+		a := trace.Access{
+			PC:   e.pcFrontier,
+			Addr: blockAddr(e.addrBase, e.frontier%e.span),
+			Kind: trace.Load,
+		}
+		e.frontier++
+		return a
+	}
+	// Gather: hub with probability hubProb, else uniform tail.
+	var block uint64
+	if r.Float64() < e.hubProb {
+		block = uint64(r.Int63n(int64(e.hubBlocks)))
+	} else {
+		block = e.hubBlocks + uint64(r.Int63n(int64(e.tailBlocks)))
+	}
+	return trace.Access{
+		PC:   e.pcGather,
+		Addr: blockAddr(e.addrBase+e.span, block),
+		Kind: trace.Load,
+	}
+}
+
+// stencilEmitter models a structured-grid sweep (cactusADM, zeusmp, roms):
+// each step touches the current row plus the row one plane back, giving a
+// medium, regular reuse distance. Whether the reused plane fits in the LLC
+// determines friendliness; the emitter's planeBlocks parameter controls it.
+type stencilEmitter struct {
+	pcBase      uint64
+	addrBase    uint64
+	planeBlocks uint64
+	planes      uint64
+	cursor      uint64
+	writeEvery  int
+	issued      int
+}
+
+func newStencilEmitter(pcBase, addrBase, planeBlocks, planes uint64, writeEvery int) *stencilEmitter {
+	if planes < 2 {
+		planes = 2
+	}
+	return &stencilEmitter{pcBase: pcBase, addrBase: addrBase, planeBlocks: planeBlocks, planes: planes, writeEvery: writeEvery}
+}
+
+func (e *stencilEmitter) next(r *rand.Rand) trace.Access {
+	plane := (e.cursor / e.planeBlocks) % e.planes
+	off := e.cursor % e.planeBlocks
+	var a trace.Access
+	if e.issued%2 == 0 {
+		// Leading access to the current plane.
+		a = trace.Access{PC: e.pcBase, Addr: blockAddr(e.addrBase, plane*e.planeBlocks+off), Kind: trace.Load}
+		e.cursor++
+	} else {
+		// Trailing access to the previous plane (reuse).
+		prev := (plane + e.planes - 1) % e.planes
+		a = trace.Access{PC: e.pcBase + 1, Addr: blockAddr(e.addrBase, prev*e.planeBlocks+off), Kind: trace.Load}
+	}
+	if e.writeEvery > 0 && e.issued%e.writeEvery == e.writeEvery-1 {
+		a.Kind = trace.Store
+	}
+	e.issued++
+	return a
+}
+
+// chaseEmitter models dependent pointer chasing over a heap region (mcf,
+// xalancbmk): a walk that allocates/visits fresh nodes (an "advance" PC)
+// which are later re-traversed once, oldest first (a "revisit" PC) — the
+// free-list / arena recycling structure of pointer-chasing codes. Most
+// advanced nodes are revisited at a reuse distance governed by the pool
+// size, so the advance PC is consistently cache-friendly when the pool
+// exceeds L2 but fits the LLC; revisited nodes die immediately, so the
+// revisit PC is cache-averse.
+type chaseEmitter struct {
+	pcAdvance   uint64
+	pcRevisit   uint64
+	addrBase    uint64
+	heapBlocks  uint64
+	pool        []uint64 // FIFO of advanced, not-yet-revisited blocks
+	poolCap     int
+	revisitProb float64
+	pos         uint64
+}
+
+func newChaseEmitter(pcBase, addrBase, heapBlocks uint64, poolCap int, revisitProb float64) *chaseEmitter {
+	return &chaseEmitter{
+		pcAdvance:   pcBase,
+		pcRevisit:   pcBase + 1,
+		addrBase:    addrBase,
+		heapBlocks:  heapBlocks,
+		poolCap:     poolCap,
+		revisitProb: revisitProb,
+	}
+}
+
+func (e *chaseEmitter) next(r *rand.Rand) trace.Access {
+	if len(e.pool) > 0 && r.Float64() < e.revisitProb {
+		// Revisit the oldest outstanding node exactly once.
+		block := e.pool[0]
+		e.pool = e.pool[1:]
+		return trace.Access{PC: e.pcRevisit, Addr: blockAddr(e.addrBase, block), Kind: trace.Load}
+	}
+	// Advance the walk with a large pseudo-random stride (LCG step) so the
+	// footprint far exceeds the LLC.
+	e.pos = (e.pos*6364136223846793005 + 1442695040888963407) % e.heapBlocks
+	block := e.pos
+	e.pool = append(e.pool, block)
+	if len(e.pool) > e.poolCap {
+		// Overflowing nodes are abandoned un-revisited.
+		e.pool = e.pool[1:]
+	}
+	return trace.Access{PC: e.pcAdvance, Addr: blockAddr(e.addrBase, block), Kind: trace.Load}
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"glider/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(All()); got < 35 {
+		t.Fatalf("registry holds %d benchmarks, want ≥ 35", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if s.Name == "" {
+			t.Fatal("unnamed spec")
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate benchmark %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Suite != SPEC2006 && s.Suite != SPEC2017 && s.Suite != GAP {
+			t.Fatalf("%s: unknown suite %q", s.Name, s.Suite)
+		}
+		if len(s.components) == 0 {
+			t.Fatalf("%s: no components", s.Name)
+		}
+	}
+}
+
+func TestEvaluationSets(t *testing.T) {
+	if got := len(SingleCoreSet()); got != 33 {
+		t.Fatalf("single-core set has %d benchmarks, want 33 (Figure 11)", got)
+	}
+	if got := len(OnlineAccuracySet()); got != 23 {
+		t.Fatalf("online accuracy set has %d benchmarks, want 23 (Figure 10)", got)
+	}
+	off := OfflineSet()
+	if len(off) != 6 {
+		t.Fatalf("offline set has %d benchmarks, want 6 (Table 2)", len(off))
+	}
+	wantOffline := []string{"mcf", "omnetpp", "soplex", "sphinx3", "astar", "lbm"}
+	for i, s := range off {
+		if s.Name != wantOffline[i] {
+			t.Fatalf("offline set[%d] = %q, want %q", i, s.Name, wantOffline[i])
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("omnetpp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	var unknown ErrUnknown
+	_, err := Lookup("doom")
+	if !asErr(err, &unknown) || unknown.Name != "doom" {
+		t.Fatalf("error type: %v", err)
+	}
+}
+
+func asErr(err error, target *ErrUnknown) bool {
+	e, ok := err.(ErrUnknown)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := Lookup("mcf")
+	a := spec.Generate(5000, 42)
+	b := spec.Generate(5000, 42)
+	if !reflect.DeepEqual(a.Accesses, b.Accesses) {
+		t.Fatal("generation not deterministic for equal seeds")
+	}
+	c := spec.Generate(5000, 43)
+	if reflect.DeepEqual(a.Accesses, c.Accesses) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateLength(t *testing.T) {
+	spec, _ := Lookup("lbm")
+	if got := spec.Generate(1234, 1).Len(); got != 1234 {
+		t.Fatalf("trace length %d, want 1234", got)
+	}
+}
+
+func TestDistinctBenchmarksDiffer(t *testing.T) {
+	a, _ := Lookup("lbm")
+	b, _ := Lookup("omnetpp")
+	ta := a.Generate(2000, 42)
+	tb := b.Generate(2000, 42)
+	if reflect.DeepEqual(ta.Accesses, tb.Accesses) {
+		t.Fatal("different benchmarks produced identical traces")
+	}
+}
+
+func TestComponentRegionsDisjoint(t *testing.T) {
+	// Different components of one benchmark must never touch the same
+	// block (each gets a private PC and address region).
+	spec, _ := Lookup("soplex")
+	tr := spec.Generate(50000, 42)
+	// PC base identifies the component (0x400000 + i*0x1000).
+	owner := map[uint64]uint64{}
+	for _, a := range tr.Accesses {
+		comp := (a.PC - 0x400000) / 0x1000
+		if prev, ok := owner[a.Block()]; ok && prev != comp {
+			t.Fatalf("block %#x shared between components %d and %d", a.Block(), prev, comp)
+		}
+		owner[a.Block()] = comp
+	}
+}
+
+func TestTraceStatsReasonable(t *testing.T) {
+	for _, name := range []string{"omnetpp", "mcf", "lbm"} {
+		spec, _ := Lookup(name)
+		s := spec.Generate(100000, 42).Summarize()
+		if s.PCs < 5 {
+			t.Fatalf("%s: only %d PCs", name, s.PCs)
+		}
+		if s.Addrs == 0 || s.Accesses != 100000 {
+			t.Fatalf("%s: bad stats %+v", name, s)
+		}
+	}
+}
+
+func TestLoadsAndStoresPresent(t *testing.T) {
+	spec, _ := Lookup("cactusADM") // stencil component emits stores
+	tr := spec.Generate(50000, 42)
+	var loads, stores int
+	for _, a := range tr.Accesses {
+		switch a.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatalf("loads=%d stores=%d; want both", loads, stores)
+	}
+}
+
+func TestMixesDeterministicAndSized(t *testing.T) {
+	a := Mixes(10, 4, 7)
+	b := Mixes(10, 4, 7)
+	if len(a) != 10 {
+		t.Fatalf("got %d mixes", len(a))
+	}
+	for i := range a {
+		if len(a[i].Members) != 4 {
+			t.Fatalf("mix %d has %d members", i, len(a[i].Members))
+		}
+		for j := range a[i].Members {
+			if a[i].Members[j].Name != b[i].Members[j].Name {
+				t.Fatal("mixes not deterministic")
+			}
+		}
+	}
+}
+
+func TestMixMembersDistinct(t *testing.T) {
+	for _, m := range Mixes(50, 4, 3) {
+		seen := map[string]bool{}
+		for _, s := range m.Members {
+			if seen[s.Name] {
+				t.Fatalf("mix %d repeats %s", m.ID, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+}
+
+func TestPhasedBenchmarksShiftBehaviour(t *testing.T) {
+	spec, _ := Lookup("bzip2") // phased
+	tr := spec.Generate(120000, 42)
+	early := tr.Slice(0, 40000).Summarize()
+	late := tr.Slice(50000, 90000).Summarize()
+	if early.AccessesPerAddr == late.AccessesPerAddr {
+		t.Fatal("phase alternation left statistics identical (suspicious)")
+	}
+}
+
+func TestGenerateNeverPanicsProperty(t *testing.T) {
+	specs := All()
+	f := func(seed int64, pick uint8, n uint16) bool {
+		spec := specs[int(pick)%len(specs)]
+		tr := spec.Generate(int(n%2000), seed)
+		return tr.Len() == int(n%2000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextEmitterExposure(t *testing.T) {
+	e := newContextCallEmitter(contextCallConfig{
+		pcBase: 0x500000, addrBase: 1 << 24,
+		callers: 3, friendlyN: 1, targets: 4, noiseLen: 2,
+		hotBlocks: 64, coldBlocks: 1 << 12,
+	})
+	if len(e.CallerPCs()) != 3 || len(e.TargetPCs()) != 4 {
+		t.Fatalf("caller/target PC exposure wrong: %d/%d", len(e.CallerPCs()), len(e.TargetPCs()))
+	}
+}
+
+func TestWorkloadReuseDesign(t *testing.T) {
+	// Validate the DESIGN.md footprint calibration with an exact
+	// reuse-distance profile: a meaningful share of omnetpp's reuse must
+	// land between the L2 (4096 blocks) and LLC (32768 blocks) capacities —
+	// the band replacement policies compete over.
+	spec, _ := Lookup("omnetpp")
+	tr := spec.Generate(150000, 42)
+	p := trace.ReuseDistances(tr, false)
+	llc := p.CapturedBy(32768)
+	l2 := p.CapturedBy(4096)
+	if llc-l2 < 0.1 {
+		t.Fatalf("only %.1f%% of reuse lies between L2 and LLC capture (L2 %.1f%%, LLC %.1f%%)",
+			(llc-l2)*100, l2*100, llc*100)
+	}
+	// And streaming benchmarks must have little LLC-capturable reuse.
+	lbm, _ := Lookup("lbm")
+	pl := trace.ReuseDistances(lbm.Generate(150000, 42), false)
+	if pl.CapturedBy(32768) > 0.6 {
+		t.Fatalf("lbm reuse too cacheable: %.1f%%", pl.CapturedBy(32768)*100)
+	}
+}
