@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench vet ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full test suite under the race detector. The experiment
+# harness fans simulations out across goroutines (internal/simrunner), and
+# most tests run with t.Parallel(), so this exercises the concurrent paths
+# for real. Expect it to take several times longer than `make test`.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+ci: vet build test race

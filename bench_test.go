@@ -4,7 +4,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"glider/internal/cpu"
@@ -226,6 +228,25 @@ func BenchmarkAblationHistoryLen(b *testing.B) {
 			b.Fatal(err)
 		}
 		renderQuiet(b, a)
+	}
+}
+
+// BenchmarkRunTable2Parallel measures the worker-pool scaling of the
+// parallel experiment runner (internal/simrunner). Results are identical at
+// every worker count; only wall-clock time changes. On a single-CPU box the
+// variants coincide — compare workers=1 vs workers=4 on multi-core hardware.
+func BenchmarkRunTable2Parallel(b *testing.B) {
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Quick()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTable2(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-accesses N] [-mixes N] [-seed N] <experiment>...
+//	experiments [-quick] [-accesses N] [-mixes N] [-seed N] [-workers N] <experiment>...
 //
 // where <experiment> is any of: table1 table2 table3 table4 fig4 fig5 fig6
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations all.
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/simrunner"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 	lstmN := flag.Int("lstm-n", 0, "override LSTM sequence warmup length N")
 	lstmEpochs := flag.Int("lstm-epochs", 0, "override LSTM training epochs")
 	lstmSeqs := flag.Int("lstm-seqs", 0, "override LSTM training sequences per epoch")
+	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = one per CPU); results are identical for any value")
+	progress := flag.Bool("progress", false, "report per-job progress on stderr")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -57,6 +60,16 @@ func main() {
 	}
 	if *lstmSeqs > 0 {
 		cfg.LSTM.MaxTrainSequences = *lstmSeqs
+	}
+	cfg.Workers = *workers
+	if *progress {
+		cfg.Progress = func(p simrunner.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-40s %s\n", p.Done, p.Total, p.Key, status)
+		}
 	}
 
 	args := flag.Args()

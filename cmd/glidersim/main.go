@@ -6,20 +6,26 @@
 //
 //	glidersim -bench omnetpp -policy glider -accesses 1000000 [-timing]
 //	glidersim -trace trace.bin -policy hawkeye
+//	glidersim -bench omnetpp -policy lru,hawkeye,glider -workers 4
 //
 // Traces can come from a built-in synthetic benchmark (-bench) or from a
-// file written by tracegen (-trace, binary or text format).
+// file written by tracegen (-trace, binary or text format). Giving -policy
+// a comma-separated list runs the policies concurrently over the same trace
+// and prints a side-by-side comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"glider/internal/cache"
 	"glider/internal/cpu"
 	"glider/internal/dram"
 	"glider/internal/policy"
+	"glider/internal/simrunner"
 	"glider/internal/trace"
 	"glider/internal/workload"
 )
@@ -29,12 +35,13 @@ func main() {
 	traceFile := flag.String("trace", "", "trace file to replay (binary, text, or gzip)")
 	champsim := flag.String("champsim", "", "ChampSim instruction trace to replay (raw or .gz)")
 	maxAccesses := flag.Int("max-accesses", 0, "with -champsim: cap the imported accesses (0 = all)")
-	policyName := flag.String("policy", "glider", "replacement policy")
+	policyName := flag.String("policy", "glider", "replacement policy, or a comma-separated list to compare")
 	accesses := flag.Int("accesses", 1_000_000, "synthetic trace length")
 	seed := flag.Int64("seed", 42, "synthetic trace seed")
 	cores := flag.Int("cores", 1, "number of cores (multi-core shares an 8 MB LLC)")
 	timing := flag.Bool("timing", false, "run the full timing model and report IPC")
 	warmupFrac := flag.Float64("warmup", 0.2, "fraction of the trace used for warmup")
+	workers := flag.Int("workers", 0, "concurrent policy runs when comparing (0 = one per CPU)")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
 	flag.Parse()
 
@@ -52,11 +59,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	warmup := int(float64(tr.Len()) * *warmupFrac)
+
+	pols := splitPolicies(*policyName)
+	if len(pols) > 1 {
+		if err := comparePolicies(tr, pols, *cores, *timing, warmup, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	h, err := cpu.BuildHierarchy(*cores, *policyName)
 	if err != nil {
 		fatal(err)
 	}
-	warmup := int(float64(tr.Len()) * *warmupFrac)
 
 	if *timing {
 		dcfg := dram.SingleCoreConfig()
@@ -128,6 +144,75 @@ func loadTrace(bench, file, champsim string, accesses, maxAccesses int, seed int
 	default:
 		return nil, fmt.Errorf("glidersim: one of -bench, -trace or -champsim is required (see -list)")
 	}
+}
+
+// splitPolicies parses the -policy flag into a list of policy names.
+func splitPolicies(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// polStats is one policy's outcome in a comparison run.
+type polStats struct {
+	ipc  float64
+	llc  cache.Stats
+	dram dram.Stats
+}
+
+// comparePolicies replays the same trace under each policy concurrently and
+// prints a side-by-side table. Each job builds its own hierarchy and DRAM
+// model, so the numbers match len(pols) separate single-policy invocations.
+func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, warmup, workers int) error {
+	jobs := make([]simrunner.Job[polStats], len(pols))
+	for i, pol := range pols {
+		jobs[i] = simrunner.Job[polStats]{
+			Key: simrunner.Key("glidersim", tr.Name, pol),
+			Run: func(ctx context.Context) (polStats, error) {
+				h, err := cpu.BuildHierarchy(cores, pol)
+				if err != nil {
+					return polStats{}, err
+				}
+				if !timing {
+					res, err := cpu.RunFunctional(tr, h, warmup, false)
+					if err != nil {
+						return polStats{}, fmt.Errorf("%s: %w", pol, err)
+					}
+					return polStats{llc: res.LLC}, nil
+				}
+				dcfg := dram.SingleCoreConfig()
+				if cores > 1 {
+					dcfg = dram.QuadCoreConfig()
+				}
+				res, err := cpu.Run(tr, h, dram.New(dcfg), cpu.DefaultCoreConfig(), warmup)
+				if err != nil {
+					return polStats{}, fmt.Errorf("%s: %w", pol, err)
+				}
+				return polStats{ipc: res.IPC, llc: res.LLC, dram: res.DRAM}, nil
+			},
+		}
+	}
+	stats, err := simrunner.Values(simrunner.Run(context.Background(), simrunner.Options{Workers: workers}, jobs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace        %s (%d accesses, %d warmup)\n", tr.Name, tr.Len(), warmup)
+	if timing {
+		fmt.Printf("%-12s %8s %10s %12s\n", "policy", "IPC", "LLC miss%", "DRAM reads")
+		for i, s := range stats {
+			fmt.Printf("%-12s %8.3f %10.1f %12d\n", pols[i], s.ipc, s.llc.MissRate()*100, s.dram.Reads)
+		}
+		return nil
+	}
+	fmt.Printf("%-12s %10s %10s %10s %8s\n", "policy", "accesses", "misses", "evictions", "miss%")
+	for i, s := range stats {
+		fmt.Printf("%-12s %10d %10d %10d %8.1f\n", pols[i], s.llc.Accesses, s.llc.Misses, s.llc.Evictions, s.llc.MissRate()*100)
+	}
+	return nil
 }
 
 func fatal(err error) {

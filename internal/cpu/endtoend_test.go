@@ -9,6 +9,7 @@ import (
 )
 
 func TestDeterministicMissRates(t *testing.T) {
+	t.Parallel()
 	spec, err := workload.Lookup("soplex")
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +28,7 @@ func TestDeterministicMissRates(t *testing.T) {
 }
 
 func TestStoreTrafficGeneratesDRAMWrites(t *testing.T) {
+	t.Parallel()
 	// A store-heavy streaming trace must produce dirty LLC evictions and
 	// hence DRAM writebacks.
 	tr := trace.New("stores", 60000)
@@ -50,6 +52,7 @@ func TestStoreTrafficGeneratesDRAMWrites(t *testing.T) {
 // central claim: on a context-dependent workload, Glider reduces the LLC
 // miss rate below both LRU and Hawkeye.
 func TestHeadlineResult(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("headline regression is slow; run without -short")
 	}
@@ -79,6 +82,7 @@ func TestHeadlineResult(t *testing.T) {
 }
 
 func TestMultiCorePerCorePCHR(t *testing.T) {
+	t.Parallel()
 	// Two cores with interleaved but independent streams: the run must
 	// complete and give each core its own IPC; Glider's per-core PCHRs keep
 	// the contexts separate (a shared PCHR would interleave PCs from both
@@ -94,6 +98,7 @@ func TestMultiCorePerCorePCHR(t *testing.T) {
 }
 
 func TestWritebackKindDoesNotPolluteLLCPredictions(t *testing.T) {
+	t.Parallel()
 	// Writebacks must not crash or train predictors (policies early-return
 	// on writeback); interleave them explicitly.
 	tr := trace.New("wb", 2000)

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 
 	"glider/internal/cache"
 	"glider/internal/cpu"
@@ -17,6 +19,7 @@ import (
 	"glider/internal/ml"
 	"glider/internal/offline"
 	"glider/internal/opt"
+	"glider/internal/simrunner"
 	"glider/internal/stats"
 	"glider/internal/workload"
 )
@@ -44,6 +47,18 @@ type Config struct {
 	// benchmark in the single-core study (1 reproduces the paper's
 	// single-SimPoint methodology; >1 adds variance estimates).
 	Seeds int
+	// Workers bounds the number of concurrent simulation jobs in the
+	// parallelized experiments (0 = one per available CPU). Results are
+	// bit-identical for every worker count; see internal/simrunner.
+	Workers int
+	// Progress, when non-nil, receives a callback after each parallel
+	// simulation job completes (callbacks are serialized).
+	Progress func(simrunner.Progress)
+}
+
+// runnerOpts translates the config into simulation-runner options.
+func (c Config) runnerOpts() simrunner.Options {
+	return simrunner.Options{Workers: c.Workers, Progress: c.Progress}
 }
 
 // Default returns the full-scale configuration used by cmd/experiments.
@@ -137,35 +152,46 @@ type Table2 struct {
 }
 
 // RunTable2 computes LLC-stream statistics for the offline benchmark set.
+// Each benchmark's statistics are independent, so they run as parallel jobs.
 func RunTable2(cfg Config) (Table2, error) {
-	var out Table2
-	for _, spec := range workload.OfflineSet() {
-		d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
-		if err != nil {
-			return out, fmt.Errorf("table2 %s: %w", spec.Name, err)
+	specs := workload.OfflineSet()
+	jobs := make([]simrunner.Job[Table2Row], len(specs))
+	for i, spec := range specs {
+		jobs[i] = simrunner.Job[Table2Row]{
+			Key: simrunner.Key("table2", spec.Name),
+			Run: func(ctx context.Context) (Table2Row, error) {
+				d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
+				if err != nil {
+					return Table2Row{}, fmt.Errorf("table2 %s: %w", spec.Name, err)
+				}
+				addrs := make(map[uint64]struct{})
+				// The dataset carries PCs; recover address counts from the
+				// raw trace's LLC stream statistics instead.
+				tr := spec.Generate(cfg.OfflineAccesses, cfg.Seed)
+				for _, a := range tr.Accesses {
+					addrs[a.Block()] = struct{}{}
+				}
+				row := Table2Row{
+					Name:     spec.Name,
+					Accesses: d.Len(),
+					PCs:      len(d.Vocab),
+					Addrs:    len(addrs),
+				}
+				if row.PCs > 0 {
+					row.AccessesPerPC = float64(row.Accesses) / float64(row.PCs)
+				}
+				if row.Addrs > 0 {
+					row.AccessesPerAddr = float64(row.Accesses) / float64(row.Addrs)
+				}
+				return row, nil
+			},
 		}
-		addrs := make(map[uint64]struct{})
-		// The dataset carries PCs; recover address counts from the raw
-		// trace's LLC stream statistics instead.
-		tr := spec.Generate(cfg.OfflineAccesses, cfg.Seed)
-		for _, a := range tr.Accesses {
-			addrs[a.Block()] = struct{}{}
-		}
-		row := Table2Row{
-			Name:     spec.Name,
-			Accesses: d.Len(),
-			PCs:      len(d.Vocab),
-			Addrs:    len(addrs),
-		}
-		if row.PCs > 0 {
-			row.AccessesPerPC = float64(row.Accesses) / float64(row.PCs)
-		}
-		if row.Addrs > 0 {
-			row.AccessesPerAddr = float64(row.Accesses) / float64(row.Addrs)
-		}
-		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	rows, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Table2{}, err
+	}
+	return Table2{Rows: rows}, nil
 }
 
 // Render writes the table.
@@ -191,7 +217,9 @@ type Fig4 struct {
 }
 
 // RunFig4 trains one LSTM per scaling factor on an omnetpp-class dataset
-// and extracts attention-weight distributions.
+// and extracts attention-weight distributions. Each scaling factor is an
+// independent training run over the shared (read-only after construction)
+// dataset, so the factors train as parallel jobs.
 func RunFig4(cfg Config) (Fig4, error) {
 	spec, err := workload.Lookup("omnetpp")
 	if err != nil {
@@ -201,7 +229,21 @@ func RunFig4(cfg Config) (Fig4, error) {
 	if err != nil {
 		return Fig4{}, err
 	}
-	curves, err := offline.AttentionWeightStudy(d, []float64{1, 2, 3, 4, 5}, cfg.LSTM)
+	scales := []float64{1, 2, 3, 4, 5}
+	jobs := make([]simrunner.Job[offline.AttentionCDF], len(scales))
+	for i, f := range scales {
+		jobs[i] = simrunner.Job[offline.AttentionCDF]{
+			Key: simrunner.Key("fig4", spec.Name, fmt.Sprintf("scale=%g", f)),
+			Run: func(ctx context.Context) (offline.AttentionCDF, error) {
+				curves, err := offline.AttentionWeightStudy(d, []float64{f}, cfg.LSTM)
+				if err != nil {
+					return offline.AttentionCDF{}, err
+				}
+				return curves[0], nil
+			},
+		}
+	}
+	curves, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
 	if err != nil {
 		return Fig4{}, err
 	}
@@ -264,10 +306,22 @@ func RunFig5(cfg Config) (Fig5, error) {
 	if len(seqs) == 0 {
 		return Fig5{}, fmt.Errorf("fig5: no test sequences")
 	}
+	// Model inference allocates per-call state, so the trained model is safe
+	// to share across the two heatmap-extraction jobs.
 	span := opts.HistoryLen
-	wide := offline.AttentionHeatmap(m, seqs[0], opts.HistoryLen, span)
-	narrow := offline.AttentionHeatmap(m, seqs[0], 10, span)
-	return Fig5{Benchmark: spec.Name, Wide: wide, Narrow: narrow}, nil
+	jobs := []simrunner.Job[offline.Heatmap]{
+		{Key: simrunner.Key("fig5", spec.Name, "wide"), Run: func(ctx context.Context) (offline.Heatmap, error) {
+			return offline.AttentionHeatmap(m, seqs[0], opts.HistoryLen, span), nil
+		}},
+		{Key: simrunner.Key("fig5", spec.Name, "narrow"), Run: func(ctx context.Context) (offline.Heatmap, error) {
+			return offline.AttentionHeatmap(m, seqs[0], 10, span), nil
+		}},
+	}
+	maps, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Fig5{}, err
+	}
+	return Fig5{Benchmark: spec.Name, Wide: maps[0], Narrow: maps[1]}, nil
 }
 
 // Render draws the heatmaps as text.
@@ -306,21 +360,32 @@ type Fig6 struct {
 }
 
 // RunFig6 measures the LSTM's sensitivity to source ordering on the offline
-// benchmark set.
+// benchmark set, one parallel job per benchmark.
 func RunFig6(cfg Config) (Fig6, error) {
-	var out Fig6
-	for _, spec := range workload.OfflineSet() {
-		d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
-		if err != nil {
-			return out, err
+	specs := workload.OfflineSet()
+	jobs := make([]simrunner.Job[Fig6Row], len(specs))
+	for i, spec := range specs {
+		jobs[i] = simrunner.Job[Fig6Row]{
+			Key: simrunner.Key("fig6", spec.Name),
+			Run: func(ctx context.Context) (Fig6Row, error) {
+				d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
+				if err != nil {
+					return Fig6Row{}, err
+				}
+				m, _, err := offline.TrainLSTM(d, cfg.LSTM)
+				if err != nil {
+					return Fig6Row{}, err
+				}
+				res := offline.ShuffleStudy(m, d.Sequences(cfg.LSTM.HistoryLen, false), cfg.LSTM.MaxEvalSequences, cfg.Seed)
+				return Fig6Row{Name: spec.Name, Original: res.Original, Shuffled: res.Shuffled}, nil
+			},
 		}
-		m, _, err := offline.TrainLSTM(d, cfg.LSTM)
-		if err != nil {
-			return out, err
-		}
-		res := offline.ShuffleStudy(m, d.Sequences(cfg.LSTM.HistoryLen, false), cfg.LSTM.MaxEvalSequences, cfg.Seed)
-		out.Rows = append(out.Rows, Fig6Row{Name: spec.Name, Original: res.Original, Shuffled: res.Shuffled})
 	}
+	rows, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Fig6{}, err
+	}
+	out := Fig6{Rows: rows}
 	avgO, avgS := 0.0, 0.0
 	for _, r := range out.Rows {
 		avgO += r.Original
@@ -353,29 +418,41 @@ type Fig9 struct {
 	Rows []Fig9Row
 }
 
-// RunFig9 trains all four offline models per benchmark.
+// RunFig9 trains all four offline models per benchmark, one parallel job
+// per benchmark (the four trainings share that job's dataset).
 func RunFig9(cfg Config) (Fig9, error) {
-	var out Fig9
-	for _, spec := range workload.OfflineSet() {
-		d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
-		if err != nil {
-			return out, err
+	specs := workload.OfflineSet()
+	jobs := make([]simrunner.Job[Fig9Row], len(specs))
+	for i, spec := range specs {
+		jobs[i] = simrunner.Job[Fig9Row]{
+			Key: simrunner.Key("fig9", spec.Name),
+			Run: func(ctx context.Context) (Fig9Row, error) {
+				d, err := offline.BuildDataset(spec, cfg.OfflineAccesses, cfg.Seed)
+				if err != nil {
+					return Fig9Row{}, err
+				}
+				_, hk := offline.TrainHawkeyeOffline(d, cfg.LinearEpochs)
+				_, perc := offline.TrainOrderedSVMOffline(d, 3, cfg.LinearEpochs)
+				_, isvm := offline.TrainISVMOffline(d, 5, cfg.LinearEpochs)
+				_, lstm, err := offline.TrainLSTM(d, cfg.LSTM)
+				if err != nil {
+					return Fig9Row{}, err
+				}
+				return Fig9Row{
+					Name:       spec.Name,
+					Hawkeye:    hk.FinalAccuracy(),
+					Perceptron: perc.FinalAccuracy(),
+					ISVM:       isvm.FinalAccuracy(),
+					LSTM:       lstm.FinalAccuracy(),
+				}, nil
+			},
 		}
-		_, hk := offline.TrainHawkeyeOffline(d, cfg.LinearEpochs)
-		_, perc := offline.TrainOrderedSVMOffline(d, 3, cfg.LinearEpochs)
-		_, isvm := offline.TrainISVMOffline(d, 5, cfg.LinearEpochs)
-		_, lstm, err := offline.TrainLSTM(d, cfg.LSTM)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, Fig9Row{
-			Name:       spec.Name,
-			Hawkeye:    hk.FinalAccuracy(),
-			Perceptron: perc.FinalAccuracy(),
-			ISVM:       isvm.FinalAccuracy(),
-			LSTM:       lstm.FinalAccuracy(),
-		})
 	}
+	rows, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Fig9{}, err
+	}
+	out := Fig9{Rows: rows}
 	avg := Fig9Row{Name: "average"}
 	for _, r := range out.Rows {
 		avg.Hawkeye += r.Hawkeye
@@ -443,19 +520,29 @@ func onlineAccuracy(spec workload.Spec, policyName string, accesses int, seed in
 	return float64(correct) / float64(usable), nil
 }
 
-// RunFig10 measures online accuracy over the 23-benchmark set.
+// RunFig10 measures online accuracy over the 23-benchmark set, one parallel
+// job per (benchmark, policy) simulation.
 func RunFig10(cfg Config) (Fig10, error) {
+	specs := workload.OnlineAccuracySet()
+	pols := []string{"hawkeye", "glider"}
+	jobs := make([]simrunner.Job[float64], 0, len(specs)*len(pols))
+	for _, spec := range specs {
+		for _, pol := range pols {
+			jobs = append(jobs, simrunner.Job[float64]{
+				Key: simrunner.Key("fig10", spec.Name, pol),
+				Run: func(ctx context.Context) (float64, error) {
+					return onlineAccuracy(spec, pol, cfg.Accesses, cfg.Seed)
+				},
+			})
+		}
+	}
+	acc, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Fig10{}, err
+	}
 	var out Fig10
-	for _, spec := range workload.OnlineAccuracySet() {
-		hk, err := onlineAccuracy(spec, "hawkeye", cfg.Accesses, cfg.Seed)
-		if err != nil {
-			return out, err
-		}
-		gl, err := onlineAccuracy(spec, "glider", cfg.Accesses, cfg.Seed)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, Fig10Row{Name: spec.Name, Hawkeye: hk, Glider: gl})
+	for i, spec := range specs {
+		out.Rows = append(out.Rows, Fig10Row{Name: spec.Name, Hawkeye: acc[2*i], Glider: acc[2*i+1]})
 	}
 	avg := Fig10Row{Name: "average"}
 	for _, r := range out.Rows {
@@ -504,8 +591,28 @@ type Fig11 struct {
 	SuiteAverages map[string]map[string][2]float64 // [missReduction, speedup]
 }
 
+// fig11ReplicaSeed returns the trace seed for one replica of the
+// single-core study. Replica 0 is the canonical run driven directly by the
+// configured seed; extra replicas draw hash-derived seeds via the runner's
+// derivation so they never correlate with the base seed stream or each
+// other.
+func fig11ReplicaSeed(cfg Config, s int) int64 {
+	if s == 0 {
+		return cfg.Seed
+	}
+	return simrunner.SeedFor(cfg.Seed, simrunner.Key("fig11", "replica", strconv.Itoa(s)))
+}
+
+// simPoint is one timing simulation's summary, the unit of work the
+// single-core study parallelizes over.
+type simPoint struct {
+	MissRate, IPC float64
+}
+
 // RunFig11 runs every single-core benchmark under LRU plus the comparison
-// policies with full timing.
+// policies with full timing: one parallel job per (benchmark, replica,
+// policy) simulation, then a serial-order reduction so results are
+// bit-identical to the serial implementation.
 func RunFig11(cfg Config) (Fig11, error) {
 	out := Fig11{Policies: PolicySet, SuiteAverages: map[string]map[string][2]float64{}}
 	type suiteAcc struct {
@@ -526,7 +633,35 @@ func RunFig11(cfg Config) (Fig11, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	for _, spec := range workload.SingleCoreSet() {
+	specs := workload.SingleCoreSet()
+	pols := append([]string{"lru"}, PolicySet...)
+	jobs := make([]simrunner.Job[simPoint], 0, len(specs)*seeds*len(pols))
+	for _, spec := range specs {
+		for s := 0; s < seeds; s++ {
+			seed := fig11ReplicaSeed(cfg, s)
+			for _, pol := range pols {
+				jobs = append(jobs, simrunner.Job[simPoint]{
+					Key: simrunner.Key("fig11", spec.Name, pol, "seed="+strconv.Itoa(s)),
+					Run: func(ctx context.Context) (simPoint, error) {
+						res, err := cpu.SingleCore(spec, pol, cfg.Accesses, seed)
+						if err != nil {
+							return simPoint{}, err
+						}
+						return simPoint{MissRate: res.LLC.MissRate(), IPC: res.IPC}, nil
+					},
+				})
+			}
+		}
+	}
+	points, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return out, err
+	}
+
+	// Reduce in the exact nested order the jobs were emitted in (and the
+	// serial loops ran in), so float accumulation order is unchanged.
+	k := 0
+	for _, spec := range specs {
 		row := Fig11Row{
 			Name:          spec.Name,
 			MissReduction: map[string]float64{},
@@ -534,20 +669,15 @@ func RunFig11(cfg Config) (Fig11, error) {
 		}
 		perSeedMiss := map[string][]float64{}
 		for s := 0; s < seeds; s++ {
-			seed := cfg.Seed + int64(s)*7919
-			base, err := cpu.SingleCore(spec, "lru", cfg.Accesses, seed)
-			if err != nil {
-				return out, err
-			}
-			row.LRUMissRate += base.LLC.MissRate() / float64(seeds)
+			base := points[k]
+			k++
+			row.LRUMissRate += base.MissRate / float64(seeds)
 			row.LRUIPC += base.IPC / float64(seeds)
 			for _, pol := range PolicySet {
-				res, err := cpu.SingleCore(spec, pol, cfg.Accesses, seed)
-				if err != nil {
-					return out, err
-				}
-				if base.LLC.MissRate() > 0 {
-					mr := 100 * (base.LLC.MissRate() - res.LLC.MissRate()) / base.LLC.MissRate()
+				res := points[k]
+				k++
+				if base.MissRate > 0 {
+					mr := 100 * (base.MissRate - res.MissRate) / base.MissRate
 					row.MissReduction[pol] += mr / float64(seeds)
 					perSeedMiss[pol] = append(perSeedMiss[pol], mr)
 				}
@@ -638,55 +768,80 @@ type Fig13 struct {
 	Averages map[string]float64
 }
 
-// RunFig13 runs the multi-core mixes. Solo baselines are cached per
-// (benchmark, policy) across mixes.
+// RunFig13 runs the multi-core mixes in two parallel phases: the solo
+// baselines first (deduplicated per (benchmark, policy) across mixes, as
+// the serial implementation's cache did), then the shared-LLC mix runs,
+// which read the completed solo table without further synchronization.
 func RunFig13(cfg Config) (Fig13, error) {
 	out := Fig13{Policies: PolicySet, Speedups: map[string][]float64{}, Averages: map[string]float64{}}
 	mixes := workload.Mixes(cfg.Mixes, 4, cfg.Seed)
+	pols := append([]string{"lru"}, PolicySet...)
 
-	soloCache := map[string]float64{}
-	soloIPC := func(spec workload.Spec, pol string) (float64, error) {
-		key := spec.Name + "|" + pol
-		if v, ok := soloCache[key]; ok {
-			return v, nil
-		}
-		res, err := cpu.SoloOnShared(spec, 4, pol, cfg.MixAccessesPerCore, cfg.Seed)
-		if err != nil {
-			return 0, err
-		}
-		soloCache[key] = res.IPC
-		return res.IPC, nil
-	}
-
-	weighted := func(mix workload.Mix, pol string) (float64, error) {
-		shared, err := cpu.MultiCore(mix, pol, cfg.MixAccessesPerCore, cfg.Seed)
-		if err != nil {
-			return 0, err
-		}
-		sum := 0.0
-		for i, spec := range mix.Members {
-			solo, err := soloIPC(spec, pol)
-			if err != nil {
-				return 0, err
-			}
-			if solo <= 0 {
-				return 0, fmt.Errorf("fig13: zero solo IPC for %s", spec.Name)
-			}
-			sum += shared.PerCoreIPC[i] / solo
-		}
-		return sum, nil
-	}
-
+	// Phase 1: solo IPCs, one job per unique (benchmark, policy) pair.
+	soloIdx := map[string]int{}
+	var soloJobs []simrunner.Job[float64]
 	for _, mix := range mixes {
-		lru, err := weighted(mix, "lru")
-		if err != nil {
-			return out, err
-		}
-		for _, pol := range PolicySet {
-			ws, err := weighted(mix, pol)
-			if err != nil {
-				return out, err
+		for _, spec := range mix.Members {
+			for _, pol := range pols {
+				key := spec.Name + "|" + pol
+				if _, ok := soloIdx[key]; ok {
+					continue
+				}
+				soloIdx[key] = len(soloJobs)
+				soloJobs = append(soloJobs, simrunner.Job[float64]{
+					Key: simrunner.Key("fig13", "solo", spec.Name, pol),
+					Run: func(ctx context.Context) (float64, error) {
+						res, err := cpu.SoloOnShared(spec, 4, pol, cfg.MixAccessesPerCore, cfg.Seed)
+						if err != nil {
+							return 0, err
+						}
+						return res.IPC, nil
+					},
+				})
 			}
+		}
+	}
+	soloIPCs, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), soloJobs))
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 2: shared runs, one job per (mix, policy).
+	jobs := make([]simrunner.Job[float64], 0, len(mixes)*len(pols))
+	for _, mix := range mixes {
+		for _, pol := range pols {
+			jobs = append(jobs, simrunner.Job[float64]{
+				Key: simrunner.Key("fig13", "mix"+strconv.Itoa(mix.ID), pol),
+				Run: func(ctx context.Context) (float64, error) {
+					shared, err := cpu.MultiCore(mix, pol, cfg.MixAccessesPerCore, cfg.Seed)
+					if err != nil {
+						return 0, err
+					}
+					sum := 0.0
+					for i, spec := range mix.Members {
+						solo := soloIPCs[soloIdx[spec.Name+"|"+pol]]
+						if solo <= 0 {
+							return 0, fmt.Errorf("fig13: zero solo IPC for %s", spec.Name)
+						}
+						sum += shared.PerCoreIPC[i] / solo
+					}
+					return sum, nil
+				},
+			})
+		}
+	}
+	weighted, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return out, err
+	}
+
+	k := 0
+	for range mixes {
+		lru := weighted[k]
+		k++
+		for _, pol := range PolicySet {
+			ws := weighted[k]
+			k++
 			improvement := 100 * (ws - lru) / lru
 			out.Speedups[pol] = append(out.Speedups[pol], improvement)
 		}

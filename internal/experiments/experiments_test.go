@@ -10,6 +10,7 @@ import (
 // table/figure must compute without error and render non-empty output.
 
 func TestTable1(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	tab := RunTable1()
 	tab.Render(&buf)
@@ -22,6 +23,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
+	t.Parallel()
 	tab, err := RunTable2(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +44,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig4(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +66,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig5(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +82,7 @@ func TestFig5(t *testing.T) {
 }
 
 func TestFig6(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig6(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +97,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig9(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -109,6 +115,7 @@ func TestFig9(t *testing.T) {
 }
 
 func TestFig11AndFig12(t *testing.T) {
+	t.Parallel()
 	cfg := Quick()
 	f, err := RunFig11(cfg)
 	if err != nil {
@@ -133,6 +140,7 @@ func TestFig11AndFig12(t *testing.T) {
 }
 
 func TestFig13(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig13(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -152,6 +160,7 @@ func TestFig13(t *testing.T) {
 }
 
 func TestFig14(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig14(Quick(), []int{5, 10}, []int{2, 5})
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +176,7 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig15(t *testing.T) {
+	t.Parallel()
 	f, err := RunFig15(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +187,7 @@ func TestFig15(t *testing.T) {
 }
 
 func TestTable3(t *testing.T) {
+	t.Parallel()
 	tab, err := RunTable3(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -197,6 +208,7 @@ func TestTable3(t *testing.T) {
 }
 
 func TestTable4(t *testing.T) {
+	t.Parallel()
 	tab, err := RunTable4(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -219,6 +231,7 @@ func TestTable4(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	t.Parallel()
 	cfg := Quick()
 	for _, run := range []func(Config) (Ablation, error){
 		RunAblationOptgenVsBelady,
@@ -243,6 +256,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestQuickAndDefaultConfigs(t *testing.T) {
+	t.Parallel()
 	q, d := Quick(), Default()
 	if q.Accesses >= d.Accesses || q.Mixes >= d.Mixes {
 		t.Fatal("Quick config should be smaller than Default")
@@ -253,6 +267,7 @@ func TestQuickAndDefaultConfigs(t *testing.T) {
 }
 
 func TestExtensionMLP(t *testing.T) {
+	t.Parallel()
 	e, err := RunExtensionMLP(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -273,6 +288,7 @@ func TestExtensionMLP(t *testing.T) {
 }
 
 func TestExtensionQuantization(t *testing.T) {
+	t.Parallel()
 	q, err := RunExtensionQuantization(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +312,7 @@ func TestExtensionQuantization(t *testing.T) {
 }
 
 func TestFig11MultiSeedVariance(t *testing.T) {
+	t.Parallel()
 	cfg := Quick()
 	cfg.Seeds = 2
 	cfg.Accesses = 60000
@@ -316,6 +333,7 @@ func TestFig11MultiSeedVariance(t *testing.T) {
 }
 
 func TestLineage(t *testing.T) {
+	t.Parallel()
 	cfg := Quick()
 	cfg.Accesses = 60000
 	l, err := RunLineage(cfg)

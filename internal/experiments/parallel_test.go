@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"glider/internal/simrunner"
+)
+
+// The parallel runner's core contract: worker count must never change an
+// experiment's result. RunTable2 (pure trace statistics) and RunFig9 (full
+// model training, including LSTM) are compared struct-for-struct between a
+// serial and a heavily oversubscribed run.
+
+func TestRunTable2ParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	serial := Quick()
+	serial.Workers = 1
+	parallel := Quick()
+	parallel.Workers = 8
+
+	a, err := RunTable2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTable2(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("workers=8 changed Table 2:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+func TestRunFig9ParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	serial := Quick()
+	serial.Workers = 1
+	parallel := Quick()
+	parallel.Workers = 8
+
+	a, err := RunFig9(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig9(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("workers=8 changed Figure 9:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// Progress callbacks must fire once per job with a monotonically increasing
+// Done count, and attaching one must not perturb the result.
+func TestProgressCallbackOnExperiment(t *testing.T) {
+	t.Parallel()
+	base := Quick()
+	base.Workers = 4
+	want, err := RunTable2(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Quick()
+	cfg.Workers = 4
+	var events []simrunner.Progress
+	cfg.Progress = func(p simrunner.Progress) { events = append(events, p) }
+	got, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("progress callback changed the result")
+	}
+	if len(events) != len(want.Rows) {
+		t.Fatalf("%d progress events for %d jobs", len(events), len(want.Rows))
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != len(want.Rows) || e.Err != nil {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestSHiPWritebackInsertsDistant(t *testing.T) {
+	t.Parallel()
 	p := NewSHiPPP(4, 2)
 	c, _ := cache.New(cache.Config{Name: "t", Sets: 4, Ways: 2}, p)
 	c.Access(1, 0, 0, trace.Writeback)
@@ -19,6 +20,7 @@ func TestSHiPWritebackInsertsDistant(t *testing.T) {
 }
 
 func TestSHiPStagedPromotion(t *testing.T) {
+	t.Parallel()
 	p := NewSHiPPP(1, 4)
 	c, _ := cache.New(cache.Config{Name: "t", Sets: 1, Ways: 4}, p)
 	c.Access(1, 0, 0, trace.Load)
@@ -33,6 +35,7 @@ func TestSHiPStagedPromotion(t *testing.T) {
 }
 
 func TestGliderAverseHitDemotes(t *testing.T) {
+	t.Parallel()
 	// When the predictor classifies a hit access as averse, the line is
 	// demoted to distant RRPV (the paper's hit-priority rule).
 	g := NewGlider(4, 2)
@@ -56,6 +59,8 @@ func TestGliderAverseHitDemotes(t *testing.T) {
 }
 
 func TestHawkeyeDetrainToggle(t *testing.T) {
+	// Deliberately not parallel: this test flips the package-level detrain
+	// toggle, which would race with any concurrently running Hawkeye test.
 	SetHawkeyeDetrain(false)
 	defer SetHawkeyeDetrain(true)
 	p := NewHawkeye(1, 2)
@@ -68,6 +73,7 @@ func TestHawkeyeDetrainToggle(t *testing.T) {
 }
 
 func TestDRRIPLeaderSets(t *testing.T) {
+	t.Parallel()
 	p := NewDRRIP(128, 4, 1)
 	if p.leader(0) != 0 || p.leader(64) != 0 {
 		t.Fatal("sets ≡ 0 (mod 64) must be SRRIP leaders")
@@ -81,6 +87,7 @@ func TestDRRIPLeaderSets(t *testing.T) {
 }
 
 func TestRRPVVictimAges(t *testing.T) {
+	t.Parallel()
 	s := newRRPVState(1, 2)
 	s.rrpv[0][0] = 3
 	s.rrpv[0][1] = 5
@@ -95,6 +102,7 @@ func TestRRPVVictimAges(t *testing.T) {
 }
 
 func TestGliderVictimPrefersAverse(t *testing.T) {
+	t.Parallel()
 	g := NewGlider(1, 2)
 	lines := []cache.Line{{Valid: true, Tag: 1}, {Valid: true, Tag: 2}}
 	g.state.rrpv[0][0] = maxRRPV
@@ -105,6 +113,7 @@ func TestGliderVictimPrefersAverse(t *testing.T) {
 }
 
 func TestPerceptronWritebackPath(t *testing.T) {
+	t.Parallel()
 	p := NewPerceptron(4, 2)
 	c, _ := cache.New(cache.Config{Name: "t", Sets: 4, Ways: 2}, p)
 	c.Access(1, 0, 0, trace.Writeback)
@@ -116,6 +125,7 @@ func TestPerceptronWritebackPath(t *testing.T) {
 }
 
 func TestMPPPBPhaseFeatureChanges(t *testing.T) {
+	t.Parallel()
 	p := NewMPPPB(1, 4)
 	f1 := p.features(1, 100, 0)
 	p.fills = 1 << 15 // advance coarse time

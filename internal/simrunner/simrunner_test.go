@@ -1,0 +1,220 @@
+package simrunner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squareJobs builds n jobs whose values are seed-driven pseudo-random
+// numbers, exercising the per-job seeding path end to end.
+func squareJobs(base int64, n int) []Job[int64] {
+	jobs := make([]Job[int64], n)
+	for i := 0; i < n; i++ {
+		key := Key("sq", fmt.Sprint(i))
+		seed := SeedFor(base, key)
+		jobs[i] = Job[int64]{Key: key, Run: func(ctx context.Context) (int64, error) {
+			return rand.New(rand.NewSource(seed)).Int63(), nil
+		}}
+	}
+	return jobs
+}
+
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	serial, err := Values(Run(ctx, Options{Workers: 1}, squareJobs(42, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 100} {
+		par, err := Values(Run(ctx, Options{Workers: workers}, squareJobs(42, 64)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: job %d = %d, serial = %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestSeedForStable(t *testing.T) {
+	t.Parallel()
+	// Golden values: the derivation must be stable across processes and
+	// releases, or "same config, same results" breaks between versions.
+	golden := []struct {
+		base int64
+		key  string
+		want int64
+	}{
+		{42, "fig11/omnetpp/glider", 3171233440921470455},
+		{42, "fig11/omnetpp/hawkeye", 4150690427097845793},
+		{43, "fig11/omnetpp/glider", 1071397378549442745},
+	}
+	for _, g := range golden {
+		if got := SeedFor(g.base, g.key); got != g.want {
+			t.Errorf("SeedFor(%d, %q) = %d, want %d", g.base, g.key, got, g.want)
+		}
+	}
+	if SeedFor(7, "a/b") != SeedFor(7, Key("a", "b")) {
+		t.Error("Key join does not match literal key")
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	t.Parallel()
+	jobs := make([]Job[int], 9)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: Key("p", fmt.Sprint(i)), Run: func(ctx context.Context) (int, error) {
+			if i%3 == 1 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			return i * i, nil
+		}}
+	}
+	res := Run(context.Background(), Options{Workers: 4}, jobs)
+	for i, r := range res {
+		if i%3 == 1 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("job %d: err = %v, want *PanicError", i, r.Err)
+			}
+			if pe.Key != jobs[i].Key || pe.Value != fmt.Sprintf("boom-%d", i) || len(pe.Stack) == 0 {
+				t.Fatalf("job %d: malformed panic error %+v", i, pe)
+			}
+			continue
+		}
+		// Sibling results survive the panics.
+		if r.Err != nil || r.Value != i*i {
+			t.Fatalf("job %d: value %d err %v, want %d", i, r.Value, r.Err, i*i)
+		}
+	}
+	// Values reports the lowest-index failure, as a serial loop would.
+	if _, err := Values(res); err == nil || !errors.As(err, new(*PanicError)) {
+		t.Fatalf("Values error = %v, want first panic", err)
+	} else if pe := err.(*PanicError); pe.Key != jobs[1].Key {
+		t.Fatalf("Values surfaced %q, want first failed job %q", pe.Key, jobs[1].Key)
+	}
+}
+
+func TestCancellationStopsDispatchPromptly(t *testing.T) {
+	t.Parallel()
+	const n, workers = 50, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, n)
+	release := make(chan struct{})
+	var ran atomic.Int32
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: Key("c", fmt.Sprint(i)), Run: func(ctx context.Context) (int, error) {
+			ran.Add(1)
+			started <- struct{}{}
+			<-release
+			return 0, nil
+		}}
+	}
+	go func() {
+		<-started // at least one job is running
+		cancel()
+		close(release)
+	}()
+	res := Run(ctx, Options{Workers: workers}, jobs)
+
+	// Only the jobs already dispatched to the two blocked workers may have
+	// run; everything queued behind them must have been abandoned.
+	if got := ran.Load(); got > workers {
+		t.Fatalf("%d jobs ran after cancellation, want <= %d", got, workers)
+	}
+	cancelled := 0
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled < n-workers {
+		t.Fatalf("%d jobs report cancellation, want >= %d", cancelled, n-workers)
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	t.Parallel()
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[int], 24)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: Key("b", fmt.Sprint(i)), Run: func(ctx context.Context) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return 0, nil
+		}}
+	}
+	if _, err := Values(Run(context.Background(), Options{Workers: workers}, jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	t.Parallel()
+	const n = 17
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: Key("pr", fmt.Sprint(i)), Run: func(ctx context.Context) (int, error) {
+			if i == 4 {
+				return 0, errors.New("planned failure")
+			}
+			return i, nil
+		}}
+	}
+	var events []Progress
+	opts := Options{Workers: 5, Progress: func(p Progress) { events = append(events, p) }}
+	res := Run(context.Background(), opts, jobs)
+	if len(events) != n {
+		t.Fatalf("%d progress events, want %d", len(events), n)
+	}
+	failures := 0
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != n {
+			t.Fatalf("event %d: Done=%d Total=%d, want %d/%d", i, e.Done, e.Total, i+1, n)
+		}
+		if e.Err != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d failure events, want 1", failures)
+	}
+	if res[4].Err == nil {
+		t.Fatal("failed job lost its error")
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	t.Parallel()
+	if res := Run(context.Background(), Options{}, []Job[int]{}); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	// Workers <= 0 falls back to GOMAXPROCS; the batch must still complete.
+	vals, err := Values(Run(context.Background(), Options{Workers: -1}, squareJobs(1, 5)))
+	if err != nil || len(vals) != 5 {
+		t.Fatalf("default workers: %d values, err %v", len(vals), err)
+	}
+}
