@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet ci
+.PHONY: build test race bench bench-smoke vet ci
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the training/kernel benchmarks at full fidelity and records
+# the results as JSON in BENCH_train.json (see cmd/benchjson). The raw
+# benchmark stream still prints to the terminal.
 bench:
+	$(GO) test -run XXX -bench . -benchmem ./internal/ml/ ./internal/offline/ | $(GO) run ./cmd/benchjson -o BENCH_train.json
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast CI
+# check that the benchmarks themselves still work, with no timing claims.
+bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
 ci: vet build test race

@@ -32,6 +32,8 @@ func main() {
 	lstmN := flag.Int("lstm-n", 0, "override LSTM sequence warmup length N")
 	lstmEpochs := flag.Int("lstm-epochs", 0, "override LSTM training epochs")
 	lstmSeqs := flag.Int("lstm-seqs", 0, "override LSTM training sequences per epoch")
+	batch := flag.Int("batch", 0, "override LSTM minibatch size (1 = serial per-sequence updates)")
+	trainWorkers := flag.Int("train-workers", 0, "concurrent LSTM gradient workers per minibatch (0 = one per CPU); results are identical for any value")
 	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = one per CPU); results are identical for any value")
 	progress := flag.Bool("progress", false, "report per-job progress on stderr")
 	flag.Parse()
@@ -61,6 +63,10 @@ func main() {
 	if *lstmSeqs > 0 {
 		cfg.LSTM.MaxTrainSequences = *lstmSeqs
 	}
+	if *batch > 0 {
+		cfg.LSTM.BatchSize = *batch
+	}
+	cfg.LSTM.Workers = *trainWorkers
 	cfg.Workers = *workers
 	if *progress {
 		cfg.Progress = func(p simrunner.Progress) {

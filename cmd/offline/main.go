@@ -29,6 +29,8 @@ func main() {
 	hist := flag.Int("h", 3, "ordered history length for the Perceptron")
 	lstmLen := flag.Int("lstm-n", 30, "LSTM sequence warmup length N")
 	lstmEpochs := flag.Int("lstm-epochs", 10, "LSTM training epochs")
+	batch := flag.Int("batch", 0, "LSTM minibatch size (0 = default; 1 = serial per-sequence updates)")
+	trainWorkers := flag.Int("train-workers", 0, "concurrent LSTM gradient workers per minibatch (0 = one per CPU); results are identical for any value")
 	flag.Parse()
 
 	spec, err := workload.Lookup(*bench)
@@ -66,6 +68,10 @@ func main() {
 		opts := offline.DefaultLSTMOptions()
 		opts.HistoryLen = *lstmLen
 		opts.Epochs = *lstmEpochs
+		if *batch > 0 {
+			opts.BatchSize = *batch
+		}
+		opts.Workers = *trainWorkers
 		start = time.Now()
 		_, res, err := offline.TrainLSTM(d, opts)
 		if err != nil {

@@ -105,7 +105,7 @@ func RunExtensionQuantization(cfg Config) (Quantization, error) {
 		}
 		seqs := d.Sequences(cfg.LSTM.HistoryLen, false)
 		rep := ml.QuantizeAttentionLSTM(m)
-		accQ := offline.EvalLSTM(m, seqs, cfg.LSTM.MaxEvalSequences)
+		accQ := offline.EvalLSTM(m, seqs, cfg.LSTM.MaxEvalSequences, cfg.LSTM.Seed)
 		pred := gl.NewPredictor(gl.DefaultConfig(1))
 		out.Rows = append(out.Rows, QuantizationRow{
 			Benchmark:        name,

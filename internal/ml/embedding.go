@@ -24,6 +24,15 @@ func NewEmbedding(vocab, dim int, r *rand.Rand) *Embedding {
 	return e
 }
 
+// shadow returns an embedding that shares e's table but owns a private
+// gradient buffer, for race-free concurrent gradient accumulation.
+func (e *Embedding) shadow() *Embedding {
+	s := &Embedding{Vocab: e.Vocab, Dim: e.Dim, table: e.table}
+	s.param = NewParam("embedding", e.table.Data)
+	s.gradTable = &Mat{Rows: e.Vocab, Cols: e.Dim, Data: s.param.G}
+	return s
+}
+
 // Params exposes the trainable table.
 func (e *Embedding) Params() []*Param { return []*Param{e.param} }
 

@@ -2,6 +2,24 @@ package ml
 
 import "math/rand"
 
+// KernelMode selects between the two numerically-equivalent (to rounding)
+// implementations of the sequence kernels.
+type KernelMode int
+
+const (
+	// KernelBatched (the default) runs the optimized path: the input
+	// projections of a whole sequence are computed as one MulABt, weight
+	// gradients accumulate through AddOuterBatch/MatMul, and every
+	// per-timestep activation lives in reused scratch matrices, so a
+	// trained model performs no per-step allocations in steady state.
+	KernelBatched KernelMode = iota
+	// KernelScalar runs the original one-timestep-at-a-time reference
+	// kernels. It exists so gradient checks and equivalence tests can
+	// cross-validate the batched path against a straightforward
+	// implementation.
+	KernelScalar
+)
+
 // LSTM is a single-layer Long Short-Term Memory network (Hochreiter &
 // Schmidhuber, 1997) with the standard gate formulation:
 //
@@ -15,6 +33,9 @@ import "math/rand"
 type LSTM struct {
 	// In is the input width (embedding dim), Hidden the state width.
 	In, Hidden int
+	// Kernels selects the scalar or batched implementation (zero value:
+	// batched).
+	Kernels KernelMode
 
 	wx, wh *Mat
 	b      Vec
@@ -22,6 +43,64 @@ type LSTM struct {
 	pWx, pWh, pB *Param
 	gWx, gWh     *Mat
 	gB           Vec
+
+	scr lstmScratch
+}
+
+// lstmScratch holds the reused per-sequence buffers of the batched path.
+// Buffers grow to the longest sequence seen and are then reused, so
+// steady-state training allocates nothing per step. Scratch is never shared:
+// each model (and each training shadow) owns its own.
+type lstmScratch struct {
+	cap int // allocated timestep capacity
+
+	x  *Mat // T × In: copied inputs
+	z  *Mat // T × 4H: pre-activations
+	h  *Mat // (T+1) × H: hidden states; row 0 is the zero initial state
+	c  *Mat // (T+1) × H: cell states; row 0 is the zero initial state
+	g  *Mat // T × 4H: gate activations i,f,g,o packed per row
+	dz *Mat // T × 4H: backward pre-activation gradients
+	dx *Mat // T × In: backward input gradients
+
+	tmp    Vec // 4H: recurrent projection of one step
+	dhNext Vec // H
+	dcNext Vec // H
+
+	states    []LSTMState
+	statePtrs []*LSTMState
+	dxRows    []Vec
+}
+
+// grow sizes the scratch for a T-step sequence.
+func (s *lstmScratch) grow(T, in, hidden int) {
+	if T <= s.cap {
+		// Row-0 initial states must be zero at the start of every forward;
+		// they are never written afterwards, so clearing once per growth
+		// would suffice — but the rows may hold stale data after a shrink,
+		// so clear defensively (2H floats, negligible).
+		s.h.Row(0).Zero()
+		s.c.Row(0).Zero()
+		return
+	}
+	s.cap = T
+	s.x = NewMat(T, in)
+	s.z = NewMat(T, 4*hidden)
+	s.h = NewMat(T+1, hidden)
+	s.c = NewMat(T+1, hidden)
+	s.g = NewMat(T, 4*hidden)
+	s.dz = NewMat(T, 4*hidden)
+	s.dx = NewMat(T, in)
+	s.tmp = NewVec(4 * hidden)
+	s.dhNext = NewVec(hidden)
+	s.dcNext = NewVec(hidden)
+	s.states = make([]LSTMState, T)
+	s.statePtrs = make([]*LSTMState, T)
+	s.dxRows = make([]Vec, T)
+}
+
+// view returns a Rows×cols matrix over the first rows of m.
+func view(m *Mat, rows int) *Mat {
+	return &Mat{Rows: rows, Cols: m.Cols, Data: m.Data[:rows*m.Cols]}
 }
 
 // NewLSTM builds an LSTM layer with Xavier-initialized weights.
@@ -37,13 +116,28 @@ func NewLSTM(in, hidden int, r *rand.Rand) *LSTM {
 	for i := hidden; i < 2*hidden; i++ {
 		l.b[i] = 1 // forget gate bias
 	}
+	l.bindParams()
+	return l
+}
+
+// bindParams (re)creates the layer's Params and gradient views over the
+// current weight storage.
+func (l *LSTM) bindParams() {
 	l.pWx = NewParam("lstm.wx", l.wx.Data)
 	l.pWh = NewParam("lstm.wh", l.wh.Data)
 	l.pB = NewParam("lstm.b", l.b)
-	l.gWx = &Mat{Rows: 4 * hidden, Cols: in, Data: l.pWx.G}
-	l.gWh = &Mat{Rows: 4 * hidden, Cols: hidden, Data: l.pWh.G}
+	l.gWx = &Mat{Rows: 4 * l.Hidden, Cols: l.In, Data: l.pWx.G}
+	l.gWh = &Mat{Rows: 4 * l.Hidden, Cols: l.Hidden, Data: l.pWh.G}
 	l.gB = Vec(l.pB.G)
-	return l
+}
+
+// shadow returns a layer that shares l's weight storage but owns private
+// gradient buffers and scratch, so concurrent workers can accumulate
+// gradients against frozen weights without data races.
+func (l *LSTM) shadow() *LSTM {
+	s := &LSTM{In: l.In, Hidden: l.Hidden, Kernels: l.Kernels, wx: l.wx, wh: l.wh, b: l.b}
+	s.bindParams()
+	return s
 }
 
 // Params exposes the trainable tensors.
@@ -55,6 +149,8 @@ func (l *LSTM) NumWeights() int {
 }
 
 // LSTMState holds the per-timestep activations the backward pass needs.
+// On the batched path the vectors are views into scratch matrices owned by
+// the layer: they are valid until the next Forward call.
 type LSTMState struct {
 	X          Vec // input
 	I, F, G, O Vec // gate activations
@@ -64,7 +160,8 @@ type LSTMState struct {
 }
 
 // Step runs one timestep from (hPrev, cPrev) on input x and returns the
-// recorded state.
+// recorded state. This is the scalar reference kernel; the batched path
+// fuses the input projections of the whole sequence instead.
 func (l *LSTM) Step(x, hPrev, cPrev Vec) *LSTMState {
 	H := l.Hidden
 	z := NewVec(4 * H)
@@ -79,6 +176,14 @@ func (l *LSTM) Step(x, hPrev, cPrev Vec) *LSTMState {
 		I: NewVec(H), F: NewVec(H), G: NewVec(H), O: NewVec(H),
 		C: NewVec(H), H: NewVec(H),
 	}
+	l.gates(st, z, cPrev)
+	return st
+}
+
+// gates computes the gate nonlinearities and the new cell/hidden state from
+// the pre-activations z (shared by both kernel paths).
+func (l *LSTM) gates(st *LSTMState, z Vec, cPrev Vec) {
+	H := l.Hidden
 	for j := 0; j < H; j++ {
 		st.I[j] = Sigmoid(z[j])
 		st.F[j] = Sigmoid(z[H+j])
@@ -87,20 +192,64 @@ func (l *LSTM) Step(x, hPrev, cPrev Vec) *LSTMState {
 		st.C[j] = st.F[j]*cPrev[j] + st.I[j]*st.G[j]
 		st.H[j] = st.O[j] * Tanh(st.C[j])
 	}
-	return st
 }
 
 // Forward runs the whole input sequence from zero state and returns the
 // per-step states (states[t].H is the hidden state after step t).
 func (l *LSTM) Forward(inputs []Vec) []*LSTMState {
-	states := make([]*LSTMState, len(inputs))
-	h := NewVec(l.Hidden)
-	c := NewVec(l.Hidden)
-	for t, x := range inputs {
-		states[t] = l.Step(x, h, c)
-		h, c = states[t].H, states[t].C
+	if l.Kernels == KernelScalar {
+		states := make([]*LSTMState, len(inputs))
+		h := NewVec(l.Hidden)
+		c := NewVec(l.Hidden)
+		for t, x := range inputs {
+			states[t] = l.Step(x, h, c)
+			h, c = states[t].H, states[t].C
+		}
+		return states
 	}
-	return states
+	return l.forwardBatched(inputs)
+}
+
+// forwardBatched computes Z = X · Wxᵀ for the whole sequence with one
+// MulABt call, then runs the (inherently sequential) recurrence over
+// scratch rows. Hidden and cell histories live in (T+1)-row matrices whose
+// row 0 is the zero initial state, so the "previous state" sequence
+// h'_0..h'_{T−1} is the contiguous prefix the batched backward kernels
+// consume directly.
+func (l *LSTM) forwardBatched(inputs []Vec) []*LSTMState {
+	T := len(inputs)
+	H := l.Hidden
+	s := &l.scr
+	s.grow(T, l.In, H)
+	for t, x := range inputs {
+		copy(s.x.Row(t), x)
+	}
+	xv := view(s.x, T)
+	zv := view(s.z, T)
+	MulABt(xv, l.wx, zv)
+
+	for t := 0; t < T; t++ {
+		st := &s.states[t]
+		st.X = s.x.Row(t)
+		st.HPrev = s.h.Row(t)
+		st.CPrev = s.c.Row(t)
+		st.H = s.h.Row(t + 1)
+		st.C = s.c.Row(t + 1)
+		grow := s.g.Row(t)
+		st.I = grow[:H]
+		st.F = grow[H : 2*H]
+		st.G = grow[2*H : 3*H]
+		st.O = grow[3*H:]
+
+		z := s.z.Row(t)
+		l.wh.MulVec(st.HPrev, s.tmp)
+		for i := range z {
+			z[i] += s.tmp[i] + l.b[i]
+		}
+		l.gates(st, z, st.CPrev)
+		s.statePtrs[t] = st
+	}
+	return s.statePtrs[:T]
 }
 
 // Backward runs backpropagation through time. dH[t] is ∂L/∂h_t accumulated
@@ -108,6 +257,15 @@ func (l *LSTM) Forward(inputs []Vec) []*LSTMState {
 // ∂L/∂x_t for the embedding layer. Gradients accumulate into the layer's
 // Params.
 func (l *LSTM) Backward(states []*LSTMState, dH []Vec) []Vec {
+	if l.Kernels == KernelScalar {
+		return l.backwardScalar(states, dH)
+	}
+	return l.backwardBatched(states, dH)
+}
+
+// backwardScalar is the reference BPTT kernel: per-timestep outer-product
+// accumulation in reverse time order.
+func (l *LSTM) backwardScalar(states []*LSTMState, dH []Vec) []Vec {
 	H := l.Hidden
 	dX := make([]Vec, len(states))
 	dhNext := NewVec(H)
@@ -119,22 +277,7 @@ func (l *LSTM) Backward(states []*LSTMState, dH []Vec) []Vec {
 		dh := dH[t].Clone()
 		dh.Add(dhNext)
 
-		for j := 0; j < H; j++ {
-			tc := Tanh(st.C[j])
-			do := dh[j] * tc
-			dc := dh[j]*st.O[j]*(1-tc*tc) + dcNext[j]
-
-			di := dc * st.G[j]
-			df := dc * st.CPrev[j]
-			dg := dc * st.I[j]
-
-			dz[j] = di * st.I[j] * (1 - st.I[j])
-			dz[H+j] = df * st.F[j] * (1 - st.F[j])
-			dz[2*H+j] = dg * (1 - st.G[j]*st.G[j])
-			dz[3*H+j] = do * st.O[j] * (1 - st.O[j])
-
-			dcNext[j] = dc * st.F[j]
-		}
+		l.stepGrad(st, dh, dcNext, dz)
 
 		// Accumulate weight gradients: gWx += dz·xᵀ, gWh += dz·h'ᵀ, gB += dz.
 		l.gWx.AddOuter(dz, st.X)
@@ -150,4 +293,70 @@ func (l *LSTM) Backward(states []*LSTMState, dH []Vec) []Vec {
 		l.wh.MulVecT(dz, dhNext)
 	}
 	return dX
+}
+
+// stepGrad computes one timestep's pre-activation gradient dz from the
+// incoming hidden gradient dh, updating dcNext in place (shared by both
+// kernel paths).
+func (l *LSTM) stepGrad(st *LSTMState, dh, dcNext, dz Vec) {
+	H := l.Hidden
+	for j := 0; j < H; j++ {
+		tc := Tanh(st.C[j])
+		do := dh[j] * tc
+		dc := dh[j]*st.O[j]*(1-tc*tc) + dcNext[j]
+
+		di := dc * st.G[j]
+		df := dc * st.CPrev[j]
+		dg := dc * st.I[j]
+
+		dz[j] = di * st.I[j] * (1 - st.I[j])
+		dz[H+j] = df * st.F[j] * (1 - st.F[j])
+		dz[2*H+j] = dg * (1 - st.G[j]*st.G[j])
+		dz[3*H+j] = do * st.O[j] * (1 - st.O[j])
+
+		dcNext[j] = dc * st.F[j]
+	}
+}
+
+// backwardBatched records every timestep's dz into a scratch matrix during
+// the reverse sweep, then accumulates the three weight gradients with
+// batched kernels: gWx += DZᵀ·X and gWh += DZᵀ·H' via AddOuterBatch,
+// gB += Σ dz_t via SumRowsInto, and the input gradients DX = DZ·Wx via one
+// cache-blocked MatMul. It must be called after a Forward on the same
+// layer (it reuses the forward scratch).
+func (l *LSTM) backwardBatched(states []*LSTMState, dH []Vec) []Vec {
+	T := len(states)
+	H := l.Hidden
+	s := &l.scr
+	dhNext := s.dhNext
+	dcNext := s.dcNext
+	dhNext.Zero()
+	dcNext.Zero()
+	dh := s.tmp[:H] // reuse the forward projection scratch as the dh buffer
+
+	for t := T - 1; t >= 0; t-- {
+		st := states[t]
+		copy(dh, dH[t])
+		dh.Add(dhNext)
+
+		dz := s.dz.Row(t)
+		l.stepGrad(st, dh, dcNext, dz)
+
+		dhNext.Zero()
+		l.wh.MulVecT(dz, dhNext)
+	}
+
+	dzv := view(s.dz, T)
+	xv := view(s.x, T)
+	hPrev := view(s.h, T) // rows 0..T−1 are exactly h'_0..h'_{T−1}
+	AddOuterBatch(l.gWx, dzv, xv)
+	AddOuterBatch(l.gWh, dzv, hPrev)
+	dzv.SumRowsInto(l.gB)
+
+	dxv := view(s.dx, T)
+	MatMul(dzv, l.wx, dxv)
+	for t := 0; t < T; t++ {
+		s.dxRows[t] = s.dx.Row(t)
+	}
+	return s.dxRows[:T]
 }

@@ -22,6 +22,10 @@ type AttentionLSTMConfig struct {
 	ClipNorm float64
 	// Seed makes initialization deterministic.
 	Seed int64
+	// Kernels selects the scalar reference kernels or the batched
+	// allocation-free kernels (default: batched). The two paths agree to
+	// floating-point rounding; gradient checks cover both.
+	Kernels KernelMode
 }
 
 // PaperConfig returns the exact Table 5 hyper-parameters for a vocabulary.
@@ -57,6 +61,76 @@ type AttentionLSTM struct {
 	opt      Optimizer
 	params   []*Param
 	seqCount int
+
+	scr modelScratch
+}
+
+// modelScratch holds the reused buffers of the batched path so that
+// steady-state training performs no per-step allocations. Each model (and
+// each Shadow) owns its own scratch; none of it is shared across
+// goroutines.
+type modelScratch struct {
+	inputs  []Vec // embedding row views, one per token
+	concat  Vec   // 2H classifier input
+	dConcat Vec   // 2H classifier input gradient
+	dLogits Vec   // 2
+
+	dH     *Mat  // T × H: per-timestep hidden-state gradients
+	dHRows []Vec // row views of dH
+
+	attnStates []AttentionState
+	attnPtrs   []*AttentionState
+	srcMats    []Mat // per-target source views into the LSTM hidden history
+	logitRows  []Vec
+	probRows   []Vec
+
+	weightsArena Vec // Σ_t t floats: attention weights per target
+	ctxArena     Vec // nPred × H floats: context vectors
+	logitArena   Vec // nPred × 2
+	probArena    Vec // nPred × 2
+}
+
+// growForward sizes the forward-pass scratch for a T-token sequence with
+// nPred predicted steps needing weightsLen total attention weights.
+func (s *modelScratch) growForward(T, nPred, weightsLen, hidden int) {
+	if cap(s.inputs) < T {
+		s.inputs = make([]Vec, T)
+	}
+	s.inputs = s.inputs[:T]
+	if len(s.concat) == 0 {
+		s.concat = NewVec(2 * hidden)
+		s.dConcat = NewVec(2 * hidden)
+		s.dLogits = NewVec(2)
+	}
+	if cap(s.attnStates) < nPred {
+		s.attnStates = make([]AttentionState, nPred)
+		s.attnPtrs = make([]*AttentionState, nPred)
+		s.srcMats = make([]Mat, nPred)
+		s.logitRows = make([]Vec, nPred)
+		s.probRows = make([]Vec, nPred)
+	}
+	if cap(s.weightsArena) < weightsLen {
+		s.weightsArena = make(Vec, weightsLen)
+	}
+	if cap(s.ctxArena) < nPred*hidden {
+		s.ctxArena = make(Vec, nPred*hidden)
+	}
+	if cap(s.logitArena) < nPred*2 {
+		s.logitArena = make(Vec, nPred*2)
+		s.probArena = make(Vec, nPred*2)
+	}
+}
+
+// growBackward sizes the backward-pass scratch.
+func (s *modelScratch) growBackward(T, hidden int) {
+	if s.dH == nil || s.dH.Rows < T {
+		s.dH = NewMat(T, hidden)
+		s.dHRows = make([]Vec, T)
+	}
+	for t := 0; t < T; t++ {
+		s.dHRows[t] = s.dH.Row(t)
+	}
+	view(s.dH, T).Zero()
 }
 
 // optOverride swaps the optimizer (used by gradient-checking tests).
@@ -82,6 +156,7 @@ func NewAttentionLSTM(cfg AttentionLSTMConfig) (*AttentionLSTM, error) {
 		wOut: NewMat(2, 2*cfg.Hidden),
 		bOut: NewVec(2),
 	}
+	m.lstm.Kernels = cfg.Kernels
 	m.wOut.XavierInit(r)
 	m.pWOut = NewParam("out.w", m.wOut.Data)
 	m.pBOut = NewParam("out.b", m.bOut)
@@ -115,6 +190,15 @@ type forwardPass struct {
 }
 
 func (m *AttentionLSTM) forward(tokens []int, predictFrom int) *forwardPass {
+	if m.cfg.Kernels == KernelScalar {
+		return m.forwardScalar(tokens, predictFrom)
+	}
+	return m.forwardBatched(tokens, predictFrom)
+}
+
+// forwardScalar is the reference implementation: fresh buffers per step,
+// slice-of-vectors attention sources.
+func (m *AttentionLSTM) forwardScalar(tokens []int, predictFrom int) *forwardPass {
 	inputs := make([]Vec, len(tokens))
 	for t, tok := range tokens {
 		inputs[t] = m.emb.Forward(tok % m.cfg.Vocab)
@@ -139,6 +223,64 @@ func (m *AttentionLSTM) forward(tokens []int, predictFrom int) *forwardPass {
 		fp.logits = append(fp.logits, logits)
 		fp.probs = append(fp.probs, probs)
 	}
+	return fp
+}
+
+// forwardBatched runs the optimized path: one MulABt for the LSTM input
+// projections, attention over contiguous hidden-state rows, and every
+// intermediate in reused arena storage. Results are valid until the next
+// forward on the same model.
+func (m *AttentionLSTM) forwardBatched(tokens []int, predictFrom int) *forwardPass {
+	T := len(tokens)
+	H := m.cfg.Hidden
+	nPred := T - predictFrom
+	if nPred < 0 {
+		nPred = 0
+	}
+	// Total attention-weight storage: target t attends over t sources.
+	weightsLen := 0
+	for t := predictFrom; t < T; t++ {
+		weightsLen += t
+	}
+	s := &m.scr
+	s.growForward(T, nPred, weightsLen, H)
+	for t, tok := range tokens {
+		s.inputs[t] = m.emb.Forward(tok % m.cfg.Vocab)
+	}
+	states := m.lstm.Forward(s.inputs)
+	fp := &forwardPass{states: states}
+	if nPred == 0 {
+		return fp
+	}
+
+	// hs row t+1 is h_t; the sources for target t are rows 1..t, a
+	// contiguous prefix starting one row in.
+	hs := m.lstm.scr.h
+	wOff := 0
+	for i := 0; i < nPred; i++ {
+		t := predictFrom + i
+		srcView := &s.srcMats[i]
+		*srcView = Mat{Rows: t, Cols: H, Data: hs.Data[H : (t+1)*H]}
+		weights := s.weightsArena[wOff : wOff+t]
+		wOff += t
+		ctx := s.ctxArena[i*H : (i+1)*H]
+		ast := &s.attnStates[i]
+		m.attn.ForwardMat(states[t].H, srcView, weights, ctx, ast)
+		s.attnPtrs[i] = ast
+
+		copy(s.concat[:H], ast.Context)
+		copy(s.concat[H:], states[t].H)
+		logits := s.logitArena[i*2 : (i+1)*2]
+		probs := s.probArena[i*2 : (i+1)*2]
+		m.wOut.MulVec(s.concat, logits)
+		logits.Add(m.bOut)
+		Softmax(logits, probs)
+		s.logitRows[i] = logits
+		s.probRows[i] = probs
+	}
+	fp.attn = s.attnPtrs[:nPred]
+	fp.logits = s.logitRows[:nPred]
+	fp.probs = s.probRows[:nPred]
 	return fp
 }
 
@@ -169,6 +311,21 @@ func (m *AttentionLSTM) AttentionWeights(tokens []int, predictFrom int) [][]floa
 // predictFrom onward contribute to the loss. Returns the mean cross-entropy
 // over the predicted steps.
 func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom int) float64 {
+	loss, n := m.AccumulateSequence(tokens, labels, predictFrom)
+	if n == 0 {
+		return 0
+	}
+	m.StepBatch(1)
+	return loss
+}
+
+// AccumulateSequence runs one forward/backward pass and accumulates the
+// sequence's gradients into the model's parameter gradient buffers without
+// applying an optimizer step. It returns the mean cross-entropy over the
+// predicted steps and the number of predicted steps. Minibatch training
+// accumulates several sequences (possibly on Shadow models) before one
+// StepBatch.
+func (m *AttentionLSTM) AccumulateSequence(tokens []int, labels []bool, predictFrom int) (float64, int) {
 	if len(labels) != len(tokens) {
 		panic(fmt.Sprintf("ml: labels length %d != tokens length %d", len(labels), len(tokens)))
 	}
@@ -176,18 +333,30 @@ func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom i
 	H := m.cfg.Hidden
 	nPred := len(fp.probs)
 	if nPred == 0 {
-		return 0
+		return 0, 0
 	}
 
 	// Per-timestep hidden-state gradients, accumulated from attention
 	// targets, attention sources, and the classifier.
-	dH := make([]Vec, len(tokens))
-	for t := range dH {
-		dH[t] = NewVec(H)
+	batched := m.cfg.Kernels != KernelScalar
+	var dH []Vec
+	if batched {
+		m.scr.growBackward(len(tokens), H)
+		dH = m.scr.dHRows[:len(tokens)]
+	} else {
+		dH = make([]Vec, len(tokens))
+		for t := range dH {
+			dH[t] = NewVec(H)
+		}
 	}
 
 	loss := 0.0
-	concat := NewVec(2 * H)
+	var concat, dConcat, dLogits Vec
+	if batched {
+		concat, dConcat, dLogits = m.scr.concat, m.scr.dConcat, m.scr.dLogits
+	} else {
+		concat = NewVec(2 * H)
+	}
 	for i := nPred - 1; i >= 0; i-- {
 		t := predictFrom + i
 		y := 0
@@ -198,7 +367,10 @@ func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom i
 		loss += -logSafe(p[y])
 
 		// Softmax cross-entropy gradient.
-		dLogits := Vec{p[0], p[1]}
+		if !batched {
+			dLogits = NewVec(2)
+		}
+		dLogits[0], dLogits[1] = p[0], p[1]
 		dLogits[y] -= 1
 
 		ast := fp.attn[i]
@@ -207,18 +379,27 @@ func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom i
 		m.gWOut.AddOuter(dLogits, concat)
 		m.gBOut.Add(dLogits)
 
-		dConcat := NewVec(2 * H)
+		if !batched {
+			dConcat = NewVec(2 * H)
+		} else {
+			dConcat.Zero()
+		}
 		m.wOut.MulVecT(dLogits, dConcat)
 		dContext := dConcat[:H]
 		dHiddenT := dConcat[H:]
 
 		// Attention backward: sources are h_0..h_{t-1}.
-		dSources := make([]Vec, t)
-		for s := 0; s < t; s++ {
-			dSources[s] = dH[s]
+		if batched {
+			dSrc := view(m.scr.dH, t)
+			m.attn.BackwardMat(ast, dContext, dSrc, dH[t])
+		} else {
+			dSources := make([]Vec, t)
+			for s := 0; s < t; s++ {
+				dSources[s] = dH[s]
+			}
+			dTarget := m.attn.Backward(ast, dContext, dSources)
+			dH[t].Add(dTarget)
 		}
-		dTarget := m.attn.Backward(ast, dContext, dSources)
-		dH[t].Add(dTarget)
 		dH[t].Add(dHiddenT)
 	}
 
@@ -226,7 +407,24 @@ func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom i
 	for t, tok := range tokens {
 		m.emb.Backward(tok%m.cfg.Vocab, dX[t])
 	}
+	m.seqCount++
+	return loss / float64(nPred), nPred
+}
 
+// StepBatch finishes a minibatch of n accumulated sequences: it averages
+// the gradient (scaling by 1/n), applies gradient clipping, and performs
+// one optimizer step, clearing the gradients. n = 1 reproduces the classic
+// per-sequence update exactly.
+func (m *AttentionLSTM) StepBatch(n int) {
+	if m.opt == nil {
+		panic("ml: StepBatch on a Shadow model (shadows only accumulate gradients)")
+	}
+	if n > 1 {
+		inv := 1 / float64(n)
+		for _, p := range m.params {
+			Vec(p.G).Scale(inv)
+		}
+	}
 	if m.cfg.ClipNorm > 0 {
 		grads := make([]Vec, len(m.params))
 		for i, p := range m.params {
@@ -235,8 +433,56 @@ func (m *AttentionLSTM) TrainSequence(tokens []int, labels []bool, predictFrom i
 		ClipNorm(grads, m.cfg.ClipNorm)
 	}
 	m.opt.Step(m.params)
-	m.seqCount++
-	return loss / float64(nPred)
+}
+
+// Shadow returns a model that shares this model's weights but owns private
+// gradient buffers and scratch. Workers of a data-parallel minibatch each
+// accumulate into their own shadow while the weights stay frozen, then the
+// owner reduces the shadows (ReduceGrads) and steps. Shadows must only be
+// used for AccumulateSequence and inference; they have no optimizer.
+func (m *AttentionLSTM) Shadow() *AttentionLSTM {
+	s := &AttentionLSTM{
+		cfg:  m.cfg,
+		emb:  m.emb.shadow(),
+		lstm: m.lstm.shadow(),
+		attn: &Attention{Scale: m.cfg.Scale},
+		wOut: m.wOut,
+		bOut: m.bOut,
+	}
+	s.pWOut = NewParam("out.w", m.wOut.Data)
+	s.pBOut = NewParam("out.b", m.bOut)
+	s.gWOut = &Mat{Rows: 2, Cols: 2 * m.cfg.Hidden, Data: s.pWOut.G}
+	s.gBOut = Vec(s.pBOut.G)
+	s.params = append(s.params, s.emb.Params()...)
+	s.params = append(s.params, s.lstm.Params()...)
+	s.params = append(s.params, s.pWOut, s.pBOut)
+	return s
+}
+
+// ReduceGrads adds each shadow's accumulated gradients into m's gradient
+// buffers — always in slice order, so the floating-point reduction order is
+// fixed by the shard layout, never by scheduling — and clears the shadow
+// gradients for reuse.
+func (m *AttentionLSTM) ReduceGrads(shadows []*AttentionLSTM) {
+	for _, sh := range shadows {
+		for i, p := range m.params {
+			sp := sh.params[i]
+			for j, g := range sp.G {
+				p.G[j] += g
+			}
+			sp.ZeroGrad()
+		}
+	}
+}
+
+// WeightSnapshot returns a deep copy of every parameter tensor, keyed by
+// parameter name. Equivalence tests compare snapshots bitwise.
+func (m *AttentionLSTM) WeightSnapshot() map[string][]float64 {
+	out := make(map[string][]float64, len(m.params))
+	for _, p := range m.params {
+		out[p.Name] = append([]float64(nil), p.W...)
+	}
+	return out
 }
 
 // EvalSequence returns (correct, total) prediction counts against labels

@@ -98,6 +98,7 @@ func (a *Adam) Step(params []*Param) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	b1, b2, d1, d2 := a.Beta1, a.Beta2, 1-a.Beta1, 1-a.Beta2
 	for _, p := range params {
 		m, ok := a.m[p]
 		if !ok {
@@ -109,13 +110,19 @@ func (a *Adam) Step(params []*Param) {
 			v = make([]float64, len(p.W))
 			a.v[p] = v
 		}
-		for i := range p.W {
-			g := p.G[i]
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			mHat := m[i] / c1
-			vHat := v[i] / c2
-			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		// Head slicing pins every operand to p.W's length so the inner
+		// loop runs without bounds checks.
+		w := p.W
+		g := p.G[:len(w)]
+		m = m[:len(w)]
+		v = v[:len(w)]
+		for i := range w {
+			gi := g[i]
+			mi := b1*m[i] + d1*gi
+			vi := b2*v[i] + d2*gi*gi
+			m[i] = mi
+			v[i] = vi
+			w[i] -= a.LR * (mi / c1) / (math.Sqrt(vi/c2) + a.Eps)
 		}
 		p.ZeroGrad()
 	}

@@ -157,6 +157,98 @@ func TestXavierInitRange(t *testing.T) {
 	}
 }
 
+// randMat fills a rows×cols matrix with values from r.
+func randMat(r *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	// Cover shapes below, at, and above the k-blocking panel size.
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 4}, {7, 64, 9}, {5, 150, 6}, {2, 200, 3}} {
+		ar, k, bc := dims[0], dims[1], dims[2]
+		a, b := randMat(r, ar, k), randMat(r, k, bc)
+		out := randMat(r, ar, bc) // pre-filled: MatMul must overwrite, not accumulate
+		MatMul(a, b, out)
+		for i := 0; i < ar; i++ {
+			for j := 0; j < bc; j++ {
+				want := 0.0
+				for kk := 0; kk < k; kk++ {
+					want += a.Row(i)[kk] * b.Row(kk)[j]
+				}
+				if got := out.Row(i)[j]; !almostEqual(got, want, 1e-9) {
+					t.Fatalf("MatMul %v out[%d][%d] = %v, want %v", dims, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulABtAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, b := randMat(r, 6, 11), randMat(r, 9, 11)
+	out := randMat(r, 6, 9)
+	MulABt(a, b, out)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 9; j++ {
+			if got, want := out.Row(i)[j], a.Row(i).Dot(b.Row(j)); !almostEqual(got, want, 1e-9) {
+				t.Fatalf("MulABt out[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAddOuterBatchMatchesSequentialAddOuter(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	const T, rows, cols = 10, 5, 7
+	xs, ys := randMat(r, T, rows), randMat(r, T, cols)
+	batched := randMat(r, rows, cols)
+	seq := batched.Clone()
+	AddOuterBatch(batched, xs, ys)
+	for tt := 0; tt < T; tt++ {
+		seq.AddOuter(xs.Row(tt), ys.Row(tt))
+	}
+	for i, v := range batched.Data {
+		// AddOuterBatch accumulates the t-sum in the same ascending order as
+		// the per-step AddOuter loop, so the results are bit-identical.
+		if v != seq.Data[i] {
+			t.Fatalf("AddOuterBatch diverges from sequential AddOuter at %d: %v vs %v", i, v, seq.Data[i])
+		}
+	}
+}
+
+func TestSumRowsInto(t *testing.T) {
+	m := NewMat(3, 2)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	out := Vec{100, 200} // accumulates
+	m.SumRowsInto(out)
+	if out[0] != 109 || out[1] != 212 {
+		t.Fatalf("SumRowsInto: got %v", out)
+	}
+}
+
+func TestBatchedKernelShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MatMul":        func() { MatMul(NewMat(2, 3), NewMat(4, 5), NewMat(2, 5)) },
+		"MulABt":        func() { MulABt(NewMat(2, 3), NewMat(4, 4), NewMat(2, 4)) },
+		"AddOuterBatch": func() { AddOuterBatch(NewMat(3, 4), NewMat(2, 3), NewMat(3, 4)) },
+		"SumRowsInto":   func() { NewMat(2, 3).SumRowsInto(NewVec(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched shapes did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestSigmoidTanhRange(t *testing.T) {
 	for _, x := range []float64{-50, -1, 0, 1, 50} {
 		if s := Sigmoid(x); s < 0 || s > 1 {

@@ -1,9 +1,13 @@
 package offline
 
 import (
+	"context"
 	"math/rand"
+	"sort"
+	"strconv"
 
 	"glider/internal/ml"
+	"glider/internal/simrunner"
 )
 
 // TrainResult records one offline training run: the per-epoch test accuracy
@@ -108,10 +112,24 @@ type LSTMOptions struct {
 	Epochs int
 	// MaxTrainSequences caps the sequences used per epoch (0 = all); the
 	// cap keeps pure-Go training tractable and is documented in
-	// EXPERIMENTS.md.
+	// EXPERIMENTS.md. Data-parallel minibatches (BatchSize/Workers) made a
+	// 5× higher cap affordable at the same wall-clock budget.
 	MaxTrainSequences int
 	// MaxEvalSequences caps the test sequences scored per epoch (0 = all).
+	// The evaluated subset is a seed-deterministic sample, not a prefix
+	// (see EvalLSTM).
 	MaxEvalSequences int
+	// BatchSize is the number of sequences per optimizer step. 0 or 1
+	// reproduces classic per-sequence updates; larger values enable
+	// data-parallel gradient accumulation across Workers.
+	BatchSize int
+	// Workers bounds the goroutines that accumulate gradients within a
+	// minibatch (0 = one per available CPU). Training results are
+	// bit-identical for every worker count: each batch is split into a
+	// fixed shard layout that depends only on the batch, and shard
+	// gradients are reduced in shard order before the single optimizer
+	// step.
+	Workers int
 	// Config is the model configuration; zero value selects
 	// ml.FastConfig(vocab).
 	Config ml.AttentionLSTMConfig
@@ -121,12 +139,27 @@ type LSTMOptions struct {
 
 // DefaultLSTMOptions returns the settings used by the experiment harness:
 // N = 30 as the paper found optimal, with the fast model configuration.
+// The per-epoch sequence cap was raised 400 → 2000 when training went
+// data-parallel (minibatches of 16 sharded across the CPUs); the old
+// serial budget is documented in EXPERIMENTS.md.
 func DefaultLSTMOptions() LSTMOptions {
-	return LSTMOptions{HistoryLen: 30, Epochs: 10, MaxTrainSequences: 400, MaxEvalSequences: 200, Seed: 1}
+	return LSTMOptions{HistoryLen: 30, Epochs: 10, MaxTrainSequences: 2000, MaxEvalSequences: 200, BatchSize: 16, Seed: 1}
 }
 
+// trainShards is the fixed number of gradient shards a minibatch is split
+// into. It is a constant — not the worker count — so the floating-point
+// reduction tree is identical no matter how many workers run the shards,
+// which is what makes training results worker-count-invariant. Eight
+// shards keep every machine up to 8 cores fully busy while costing only
+// eight parameter-sized gradient buffers.
+const trainShards = 8
+
 // TrainLSTM trains the attention LSTM on the dataset and returns the model
-// plus its per-epoch accuracy curve.
+// plus its per-epoch accuracy curve. With BatchSize > 1 each minibatch's
+// sequences are sharded across a bounded worker pool; gradients accumulate
+// into per-shard shadows of the parameters and reduce in fixed shard order
+// before a single optimizer step, so the trained weights are bit-identical
+// for any Workers value (asserted by TestTrainLSTMWorkerEquivalence).
 func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, error) {
 	cfg := opts.Config
 	if cfg.Vocab == 0 {
@@ -144,6 +177,21 @@ func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, er
 	testSeqs := d.Sequences(opts.HistoryLen, false)
 	r := rand.New(rand.NewSource(opts.Seed))
 
+	batch := opts.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	var shadows []*ml.AttentionLSTM
+	if batch > 1 {
+		n := trainShards
+		if batch < n {
+			n = batch
+		}
+		for i := 0; i < n; i++ {
+			shadows = append(shadows, m.Shadow())
+		}
+	}
+
 	res := TrainResult{Model: "attention-lstm"}
 	for e := 0; e < opts.Epochs; e++ {
 		seqs := trainSeqs
@@ -154,27 +202,100 @@ func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, er
 				seqs[i] = trainSeqs[perm[i]]
 			}
 		}
-		for _, s := range seqs {
-			m.TrainSequence(s.Tokens, s.Labels, s.PredictFrom)
+		if batch <= 1 {
+			for _, s := range seqs {
+				m.TrainSequence(s.Tokens, s.Labels, s.PredictFrom)
+			}
+		} else if err := trainEpochParallel(m, shadows, seqs, batch, opts.Workers); err != nil {
+			return nil, TrainResult{}, err
 		}
-		res.EpochAccuracy = append(res.EpochAccuracy, EvalLSTM(m, testSeqs, opts.MaxEvalSequences))
+		res.EpochAccuracy = append(res.EpochAccuracy, EvalLSTM(m, testSeqs, opts.MaxEvalSequences, opts.Seed))
 	}
 	return m, res, nil
 }
 
-// EvalLSTM measures sequence-labeling accuracy over test sequences
-// (optionally capped at maxSeqs).
-func EvalLSTM(m *ml.AttentionLSTM, seqs []Sequence, maxSeqs int) float64 {
-	if maxSeqs > 0 && len(seqs) > maxSeqs {
-		seqs = seqs[:maxSeqs]
+// trainEpochParallel runs one epoch of minibatch training. Every batch is
+// partitioned into (at most) trainShards contiguous shards — a layout that
+// depends only on the batch length — and the shards run as simrunner jobs
+// on a pool of `workers` goroutines. Shard s always accumulates into
+// shadow s, in its sequences' order, and ReduceGrads folds the shadows
+// back in shard order, so the result is bit-identical to any other worker
+// count (including 1). The weights are frozen while a batch is in flight:
+// only StepBatch mutates them, after the pool has joined.
+func trainEpochParallel(m *ml.AttentionLSTM, shadows []*ml.AttentionLSTM, seqs []Sequence, batch, workers int) error {
+	ctx := context.Background()
+	for start := 0; start < len(seqs); start += batch {
+		end := start + batch
+		if end > len(seqs) {
+			end = len(seqs)
+		}
+		b := seqs[start:end]
+		ns := len(shadows)
+		if ns > len(b) {
+			ns = len(b)
+		}
+		jobs := make([]simrunner.Job[int], ns)
+		for si := 0; si < ns; si++ {
+			lo := si * len(b) / ns
+			hi := (si + 1) * len(b) / ns
+			part := b[lo:hi]
+			sh := shadows[si]
+			jobs[si] = simrunner.Job[int]{
+				Key: simrunner.Key("train-lstm", "shard", strconv.Itoa(si)),
+				Run: func(ctx context.Context) (int, error) {
+					n := 0
+					for _, s := range part {
+						_, np := sh.AccumulateSequence(s.Tokens, s.Labels, s.PredictFrom)
+						n += np
+					}
+					return n, nil
+				},
+			}
+		}
+		if _, err := simrunner.Values(simrunner.Run(ctx, simrunner.Options{Workers: workers}, jobs)); err != nil {
+			return err
+		}
+		m.ReduceGrads(shadows[:ns])
+		m.StepBatch(len(b))
 	}
+	return nil
+}
+
+// EvalLSTM measures sequence-labeling accuracy over test sequences. When
+// maxSeqs caps the evaluation, the scored subset is a deterministic
+// seed-derived sample of the whole test set (EvalIndices) rather than the
+// first maxSeqs sequences: a prefix would always score the same leading
+// region of the test stream and bias the accuracy curve toward whatever
+// phase the benchmark starts in.
+func EvalLSTM(m *ml.AttentionLSTM, seqs []Sequence, maxSeqs int, seed int64) float64 {
 	correct, total := 0, 0
-	for _, s := range seqs {
+	for _, i := range EvalIndices(len(seqs), maxSeqs, seed) {
+		s := seqs[i]
 		c, t := m.EvalSequence(s.Tokens, s.Labels, s.PredictFrom)
 		correct += c
 		total += t
 	}
 	return ratio(correct, total)
+}
+
+// EvalIndices returns the sequence indices EvalLSTM scores: all of
+// [0, n) when the cap is off, otherwise a sorted max-element sample drawn
+// from a dedicated stream derived from the run seed (so it never aliases
+// the training-subsample stream). The selection is pure: same (n, max,
+// seed) always yields the same indices.
+func EvalIndices(n, max int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	if max <= 0 || n <= max {
+		return out
+	}
+	r := rand.New(rand.NewSource(simrunner.SeedFor(seed, "offline/eval")))
+	r.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	out = out[:max]
+	sort.Ints(out)
+	return out
 }
 
 func ratio(num, den int) float64 {
