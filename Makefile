@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet ci
+.PHONY: build test race bench bench-smoke vet ci cover metrics-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,4 +29,25 @@ bench:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
-ci: vet build test race
+# cover runs the per-package coverage ratchet: every package must stay at or
+# above its floor in coverage.txt. Raise floors with `go run ./cmd/covcheck
+# -profile cover.out -update` after an intentional coverage change.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covcheck -profile cover.out -floors coverage.txt
+
+# metrics-smoke proves the observability pipeline end to end: simulate with
+# -metrics, then aggregate the JSONL with obsreport.
+metrics-smoke:
+	$(GO) run ./cmd/glidersim -bench omnetpp -policy glider -accesses 100000 -metrics /tmp/glider-metrics.jsonl -metrics-summary
+	$(GO) run ./cmd/obsreport /tmp/glider-metrics.jsonl
+
+# fuzz-smoke gives each trace-decoder fuzz target a short budget on top of
+# the checked-in seed corpus (which plain `go test` already replays).
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -run '^FuzzReadBinary$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^FuzzReadText$$' -fuzz '^FuzzReadText$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^FuzzReadAuto$$' -fuzz '^FuzzReadAuto$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^FuzzReadChampSim$$' -fuzz '^FuzzReadChampSim$$' -fuzztime 10s
+
+ci: vet build test race cover

@@ -1,0 +1,208 @@
+// Command covcheck enforces the repository's per-package coverage ratchet.
+//
+// It reads a Go coverage profile (go test -coverprofile), computes
+// statement-weighted coverage per package, and compares each package
+// against the floor recorded in coverage.txt. Any package below its floor —
+// or any covered package missing from the floor file — fails the check, so
+// coverage can only move up or sideways, never silently down.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/covcheck -profile cover.out -floors coverage.txt
+//	go run ./cmd/covcheck -profile cover.out -floors coverage.txt -update
+//
+// -update rewrites the floor file from the measured values (rounded down to
+// one decimal, minus a 2-point slack so unrelated refactors don't trip it),
+// for use when a PR intentionally moves coverage.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total, covered int
+}
+
+func (p pkgCov) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+// updateSlack is subtracted from measured coverage when writing floors, so
+// the ratchet binds on real regressions rather than on noise from moving a
+// few statements between packages.
+const updateSlack = 2.0
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	floors := flag.String("floors", "coverage.txt", "per-package floor file")
+	update := flag.Bool("update", false, "rewrite the floor file from measured coverage")
+	flag.Parse()
+
+	cov, err := readProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cov) == 0 {
+		fatal(fmt.Errorf("profile %s contains no statements", *profile))
+	}
+
+	if *update {
+		if err := writeFloors(*floors, cov); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("covcheck: wrote %d floors to %s\n", len(cov), *floors)
+		return
+	}
+
+	want, err := readFloors(*floors)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := false
+	for _, pkg := range pkgs {
+		got := cov[pkg].percent()
+		floor, ok := want[pkg]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-46s %6.1f%% (no floor recorded — run covcheck -update and commit coverage.txt)\n", pkg, got)
+			failed = true
+		case got < floor:
+			fmt.Printf("FAIL %-46s %6.1f%% < floor %.1f%%\n", pkg, got, floor)
+			failed = true
+		default:
+			fmt.Printf("ok   %-46s %6.1f%% (floor %.1f%%)\n", pkg, got, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readProfile parses a coverprofile and aggregates statements per package
+// (the directory part of each file path).
+func readProfile(path string) (map[string]pkgCov, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	cov := make(map[string]pkgCov)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts hitCount
+		colon := strings.LastIndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed line %q", path, lineNo, line)
+		}
+		file := line[:colon]
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 3 fields after filename, got %d", path, lineNo, len(fields))
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: statement count: %v", path, lineNo, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: hit count: %v", path, lineNo, err)
+		}
+		pkg := file
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			pkg = file[:i]
+		}
+		c := cov[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		cov[pkg] = c
+	}
+	return cov, sc.Err()
+}
+
+// readFloors parses the floor file: "<package> <percent>" per line, with
+// '#' comments.
+func readFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<package> <percent>\", got %q", path, lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: percent: %v", path, lineNo, err)
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}
+
+func writeFloors(path string, cov map[string]pkgCov) error {
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	var b strings.Builder
+	b.WriteString("# Per-package statement-coverage floors, enforced by cmd/covcheck in CI.\n")
+	b.WriteString("# A package may not fall below its floor. To raise (or intentionally\n")
+	b.WriteString("# move) a floor: go test -coverprofile=cover.out ./... && go run ./cmd/covcheck -profile cover.out -update\n")
+	for _, pkg := range pkgs {
+		floor := cov[pkg].percent() - updateSlack
+		if floor < 0 {
+			floor = 0
+		}
+		// Round down to one decimal so the file is stable across runs.
+		floor = float64(int(floor*10)) / 10
+		fmt.Fprintf(&b, "%s %.1f\n", pkg, floor)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covcheck:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/obs"
 	"glider/internal/simrunner"
 )
 
@@ -36,6 +37,8 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "concurrent LSTM gradient workers per minibatch (0 = one per CPU); results are identical for any value")
 	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = one per CPU); results are identical for any value")
 	progress := flag.Bool("progress", false, "report per-job progress on stderr")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
+	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when all experiments finish")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -78,6 +81,23 @@ func main() {
 		}
 	}
 
+	// Observability: one registry/sink pair spans all requested experiments,
+	// so job latencies from every figure land in the same report.
+	var jsonl *obs.JSONLSink
+	if *metricsPath != "" || *metricsSummary {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *metricsPath != "" {
+		var err error
+		if jsonl, err = obs.CreateJSONL(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		cfg.Sink = jsonl
+	}
+	cfg.LSTM.Obs = cfg.Obs
+	cfg.LSTM.Sink = cfg.Sink
+
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|all>...")
@@ -96,6 +116,19 @@ func main() {
 		if !*asJSON {
 			fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if cfg.Sink != nil {
+		obs.EmitSnapshot(cfg.Sink, cfg.Obs)
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsSummary {
+		cfg.Obs.Snapshot().WriteSummary(os.Stderr)
 	}
 }
 

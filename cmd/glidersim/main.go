@@ -29,6 +29,7 @@ import (
 	"glider/internal/cache"
 	"glider/internal/cpu"
 	"glider/internal/dram"
+	"glider/internal/obs"
 	"glider/internal/offline"
 	"glider/internal/policy"
 	"glider/internal/simrunner"
@@ -53,6 +54,9 @@ func main() {
 	batch := flag.Int("batch", 0, "with -offline: LSTM minibatch size (1 = serial per-sequence updates)")
 	trainWorkers := flag.Int("train-workers", 0, "with -offline: concurrent gradient workers per minibatch (0 = one per CPU); results are identical for any value")
 	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
+	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when the run finishes")
+	evictSample := flag.Uint64("metrics-evict-every", 0, "with -metrics: emit every Nth LLC eviction as an event (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -70,10 +74,40 @@ func main() {
 		fatal(err)
 	}
 
-	if *offlineMode {
-		if err := trainOffline(tr, *lstmEpochs, *batch, *trainWorkers, *seed); err != nil {
+	// Observability: a registry plus optional JSONL sink, shared by whichever
+	// mode runs below. finishMetrics emits the end-of-run snapshot so the
+	// JSONL file is self-contained for obsreport.
+	var reg *obs.Registry
+	var sink obs.Sink
+	var jsonl *obs.JSONLSink
+	if *metricsPath != "" || *metricsSummary {
+		reg = obs.NewRegistry()
+	}
+	if *metricsPath != "" {
+		if jsonl, err = obs.CreateJSONL(*metricsPath); err != nil {
 			fatal(err)
 		}
+		sink = jsonl
+	}
+	finishMetrics := func() {
+		if sink != nil {
+			obs.EmitSnapshot(sink, reg)
+		}
+		if jsonl != nil {
+			if err := jsonl.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsSummary {
+			reg.Snapshot().WriteSummary(os.Stderr)
+		}
+	}
+
+	if *offlineMode {
+		if err := trainOffline(tr, *lstmEpochs, *batch, *trainWorkers, *seed, reg, sink); err != nil {
+			fatal(err)
+		}
+		finishMetrics()
 		return
 	}
 
@@ -81,13 +115,16 @@ func main() {
 
 	pols := splitPolicies(*policyName)
 	if len(pols) > 1 {
-		if err := comparePolicies(tr, pols, *cores, *timing, warmup, *workers); err != nil {
+		if err := comparePolicies(tr, pols, *cores, *timing, warmup, *workers, reg, sink); err != nil {
 			fatal(err)
 		}
+		finishMetrics()
 		return
 	}
 
-	h, err := cpu.BuildHierarchy(*cores, *policyName)
+	h, err := cpu.BuildHierarchyObs(*cores, *policyName, cpu.ObsOptions{
+		Registry: reg, Sink: sink, PerPC: reg != nil, SampleEvery: *evictSample,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -97,10 +134,14 @@ func main() {
 		if *cores > 1 {
 			dcfg = dram.QuadCoreConfig()
 		}
-		res, err := cpu.Run(tr, h, dram.New(dcfg), cpu.DefaultCoreConfig(), warmup)
+		d := dram.New(dcfg)
+		d.AttachObs(reg)
+		res, err := cpu.Run(tr, h, d, cpu.DefaultCoreConfig(), warmup)
 		if err != nil {
 			fatal(err)
 		}
+		cpu.FlushHierarchyObs(h)
+		defer finishMetrics()
 		fmt.Printf("trace        %s (%d accesses, %d warmup)\n", tr.Name, tr.Len(), warmup)
 		fmt.Printf("policy       %s\n", *policyName)
 		fmt.Printf("IPC          %.3f\n", res.IPC)
@@ -119,6 +160,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cpu.FlushHierarchyObs(h)
+	finishMetrics()
 	fmt.Printf("trace        %s (%d accesses, %d warmup)\n", tr.Name, tr.Len(), warmup)
 	fmt.Printf("policy       %s\n", *policyName)
 	fmt.Printf("LLC          %d accesses, %d hits, %d misses (%.1f%% miss)\n",
@@ -185,7 +228,10 @@ type polStats struct {
 // comparePolicies replays the same trace under each policy concurrently and
 // prints a side-by-side table. Each job builds its own hierarchy and DRAM
 // model, so the numbers match len(pols) separate single-policy invocations.
-func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, warmup, workers int) error {
+// Observability covers the runner (per-policy job latency); per-hierarchy
+// metrics stay off because concurrent policies would collide on shared
+// metric names.
+func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, warmup, workers int, reg *obs.Registry, sink obs.Sink) error {
 	jobs := make([]simrunner.Job[polStats], len(pols))
 	for i, pol := range pols {
 		jobs[i] = simrunner.Job[polStats]{
@@ -214,7 +260,7 @@ func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, war
 			},
 		}
 	}
-	stats, err := simrunner.Values(simrunner.Run(context.Background(), simrunner.Options{Workers: workers}, jobs))
+	stats, err := simrunner.Values(simrunner.Run(context.Background(), simrunner.Options{Workers: workers, Obs: reg, Sink: sink}, jobs))
 	if err != nil {
 		return err
 	}
@@ -237,7 +283,7 @@ func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, war
 // attention LSTM on it, reporting the per-epoch accuracy curve. The
 // batch/workers knobs feed the data-parallel trainer; any worker count
 // produces bit-identical results.
-func trainOffline(tr *trace.Trace, epochs, batch, workers int, seed int64) error {
+func trainOffline(tr *trace.Trace, epochs, batch, workers int, seed int64, reg *obs.Registry, sink obs.Sink) error {
 	start := time.Now()
 	d, err := offline.BuildDatasetFromTrace(tr)
 	if err != nil {
@@ -256,6 +302,8 @@ func trainOffline(tr *trace.Trace, epochs, batch, workers int, seed int64) error
 		opts.BatchSize = batch
 	}
 	opts.Workers = workers
+	opts.Obs = reg
+	opts.Sink = sink
 
 	start = time.Now()
 	_, res, err := offline.TrainLSTM(d, opts)

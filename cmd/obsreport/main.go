@@ -1,0 +1,64 @@
+// Command obsreport renders the JSONL telemetry stream written by
+// `glidersim -metrics` or `experiments -metrics` as a human-readable
+// report: end-of-run metric values, per-PC reuse outcomes (which PCs
+// insert lines that die unused), per-policy job latencies, and offline
+// training curves.
+//
+// Usage:
+//
+//	glidersim -bench omnetpp -policy glider -metrics run.jsonl
+//	obsreport run.jsonl
+//	obsreport -top 20 run1.jsonl run2.jsonl
+//	cat run.jsonl | obsreport -
+//
+// Multiple files (or stdin, named "-") are concatenated before
+// aggregation, so a batch of runs can be reported together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"glider/internal/obs"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "rows per table (per-PC, per-policy)")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-top N] <events.jsonl>... (use - for stdin)")
+		os.Exit(2)
+	}
+
+	var events []obs.Event
+	for _, path := range paths {
+		evs, err := readFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obsreport: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		events = append(events, evs...)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "obsreport: no events")
+		os.Exit(1)
+	}
+	obs.Aggregate(events).Render(os.Stdout, *topN)
+}
+
+func readFile(path string) ([]obs.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadEvents(r)
+}

@@ -117,6 +117,10 @@ type Cache struct {
 	policy Policy
 	sets   [][]Line
 	stats  Stats
+	// obs, when non-nil, receives per-access observability callbacks. The
+	// nil check is the only cost the instrumentation adds to a run with
+	// observability disabled.
+	obs *Observer
 }
 
 // New builds a cache with the given geometry and replacement policy.
@@ -195,6 +199,9 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 				lines[w].Dirty = true
 			}
 			lines[w].PC = pc
+			if c.obs != nil {
+				c.obs.onHit(set, w, pc)
+			}
 			c.policy.Update(set, w, pc, block, core, true, kind)
 			return AccessResult{Hit: true, Set: set, Way: w}
 		}
@@ -204,6 +211,9 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 	c.stats.Misses++
 	if int(core) < len(c.stats.PerCore) {
 		c.stats.PerCore[core].Misses++
+	}
+	if c.obs != nil {
+		c.obs.onMiss(set, pc)
 	}
 
 	// Prefer an invalid way before consulting the policy.
@@ -220,6 +230,9 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 		res.Way = way
 		if way == Bypass {
 			c.stats.Bypasses++
+			if c.obs != nil {
+				c.obs.onBypass()
+			}
 			c.policy.Update(set, Bypass, pc, block, core, false, kind)
 			return res
 		}
@@ -234,6 +247,9 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 				c.stats.Writebacks++
 				res.WritebackNeeded = true
 			}
+			if c.obs != nil {
+				c.obs.onEvict(set, way, lines[way], lines[way].Dirty)
+			}
 		}
 	}
 	lines[way] = Line{
@@ -242,6 +258,9 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 		Tag:   block,
 		PC:    pc,
 		Core:  core,
+	}
+	if c.obs != nil {
+		c.obs.onFill(set, way, pc)
 	}
 	c.policy.Update(set, way, pc, block, core, false, kind)
 	return res

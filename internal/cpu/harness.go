@@ -5,6 +5,7 @@ import (
 
 	"glider/internal/cache"
 	"glider/internal/dram"
+	"glider/internal/obs"
 	"glider/internal/policy"
 	"glider/internal/trace"
 	"glider/internal/workload"
@@ -14,6 +15,28 @@ import (
 // replacement policy (upper levels always use LRU). For cores > 1 the LLC
 // is the shared 8 MB configuration.
 func BuildHierarchy(cores int, policyName string) (*cache.Hierarchy, error) {
+	return BuildHierarchyObs(cores, policyName, ObsOptions{})
+}
+
+// ObsOptions selects what telemetry an instrumented hierarchy publishes.
+// The zero value disables everything, which is exactly BuildHierarchy.
+type ObsOptions struct {
+	// Registry receives LLC and policy metrics when non-nil.
+	Registry *obs.Registry
+	// Sink receives per-event telemetry (sampled evictions, end-of-run
+	// policy snapshots) when non-nil.
+	Sink obs.Sink
+	// PerPC enables the LLC observer's per-PC reuse outcome table.
+	PerPC bool
+	// SampleEvery emits every Nth LLC eviction to Sink (0 = none).
+	SampleEvery uint64
+}
+
+// BuildHierarchyObs is BuildHierarchy plus observability: it attaches an
+// LLC observer and, for policies that implement obs.Attacher (Hawkeye,
+// Glider), their predictor telemetry. With a zero ObsOptions the hierarchy
+// is indistinguishable from an uninstrumented one.
+func BuildHierarchyObs(cores int, policyName string, oo ObsOptions) (*cache.Hierarchy, error) {
 	llcCfg := cache.LLCConfig
 	if cores > 1 {
 		llcCfg = cache.SharedLLCConfig4
@@ -22,8 +45,26 @@ func BuildHierarchy(cores int, policyName string) (*cache.Hierarchy, error) {
 	if !ok {
 		return nil, fmt.Errorf("cpu: unknown policy %q", policyName)
 	}
+	if a, ok := p.(obs.Attacher); ok && (oo.Registry != nil || oo.Sink != nil) {
+		a.AttachObs(oo.Registry, oo.Sink)
+	}
 	upper := func(sets, ways int) cache.Policy { return policy.NewLRU(sets, ways) }
-	return cache.NewHierarchy(cores, llcCfg, p, upper)
+	h, err := cache.NewHierarchy(cores, llcCfg, p, upper)
+	if err != nil {
+		return nil, err
+	}
+	if o := cache.NewObserver(oo.Registry, oo.Sink, llcCfg, cache.ObserverOptions{PerPC: oo.PerPC, SampleEvery: oo.SampleEvery}); o != nil {
+		h.LLC().AttachObserver(o)
+	}
+	return h, nil
+}
+
+// FlushHierarchyObs emits end-of-run telemetry for policies that buffer it
+// (e.g. Glider's ISVM weight snapshot). Call once after the run completes.
+func FlushHierarchyObs(h *cache.Hierarchy) {
+	if f, ok := h.LLC().Policy().(obs.Flusher); ok {
+		f.FlushObs()
+	}
 }
 
 // SingleCore runs one benchmark with one policy and full timing, warming up

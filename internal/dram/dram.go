@@ -8,7 +8,10 @@
 // configured bandwidth by spacing transfer completions.
 package dram
 
-import "glider/internal/trace"
+import (
+	"glider/internal/obs"
+	"glider/internal/trace"
+)
 
 // Config parameterizes the memory model. Latencies are expressed in CPU
 // cycles (the CPU model runs at a nominal 3.2 GHz, 4× the 800 MHz memory
@@ -55,6 +58,29 @@ type DRAM struct {
 	openRow   []uint64 // per bank; ^0 = closed
 	busFreeAt float64  // CPU cycle when the data bus is next free
 	stats     Stats
+
+	// Observability (nil when disabled; see AttachObs).
+	obsReadLat  *obs.Histogram
+	obsBusStall *obs.Histogram
+	obsQueue    *obs.Histogram
+	obsRowHits  *obs.Counter
+	obsRowConf  *obs.Counter
+	obsBankVec  *obs.Vec
+}
+
+// AttachObs publishes DRAM telemetry: read latency and bus-stall
+// distributions, queue depth (outstanding transfers ahead of a request, in
+// block-transfer units), row hit/conflict counters, and per-bank traffic.
+func (d *DRAM) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.obsReadLat = reg.Histogram("dram.read.cycles", obs.ExpBuckets(64, 2, 8))
+	d.obsBusStall = reg.Histogram("dram.bus.stall.cycles", obs.ExpBuckets(16, 2, 8))
+	d.obsQueue = reg.Histogram("dram.queue.depth", obs.LinearBuckets(0, 1, 9))
+	d.obsRowHits = reg.Counter("dram.row.hits")
+	d.obsRowConf = reg.Counter("dram.row.conflicts")
+	d.obsBankVec = reg.Vec("dram.bank.accesses", d.cfg.Banks)
 }
 
 // Stats counts DRAM traffic.
@@ -87,8 +113,10 @@ func (d *DRAM) Access(block uint64, write bool, now float64) float64 {
 	memLat := d.cfg.TCAS
 	if d.openRow[bank] == row {
 		d.stats.RowHits++
+		d.obsRowHits.Inc()
 	} else {
 		d.stats.RowConflicts++
+		d.obsRowConf.Inc()
 		memLat += d.cfg.TRP + d.cfg.TRCD
 		d.openRow[bank] = row
 	}
@@ -104,11 +132,22 @@ func (d *DRAM) Access(block uint64, write bool, now float64) float64 {
 	done := start + lat + transfer
 	d.busFreeAt = start + transfer
 
+	if d.obsQueue != nil {
+		d.obsBankVec.Inc(bank)
+		// Queue depth: how many block transfers were already queued ahead of
+		// this request when it arrived.
+		d.obsQueue.Observe((start - now) / transfer)
+		if start > now {
+			d.obsBusStall.Observe(start - now)
+		}
+	}
+
 	if write {
 		d.stats.Writes++
 	} else {
 		d.stats.Reads++
 		d.stats.TotalLatency += uint64(done - now)
+		d.obsReadLat.Observe(done - now)
 	}
 	return done
 }

@@ -17,6 +17,7 @@ import (
 	"glider/internal/cpu"
 	"glider/internal/dram"
 	"glider/internal/ml"
+	"glider/internal/obs"
 	"glider/internal/offline"
 	"glider/internal/opt"
 	"glider/internal/simrunner"
@@ -54,11 +55,18 @@ type Config struct {
 	// Progress, when non-nil, receives a callback after each parallel
 	// simulation job completes (callbacks are serialized).
 	Progress func(simrunner.Progress)
+	// Obs, when non-nil, receives the parallel runner's job-latency and
+	// throughput metrics. Per-hierarchy metrics stay off in experiments:
+	// jobs run concurrently and would contend on shared counters.
+	Obs *obs.Registry
+	// Sink, when non-nil, receives one event per simulation job and batch,
+	// keyed so cmd/obsreport can group latencies by policy.
+	Sink obs.Sink
 }
 
 // runnerOpts translates the config into simulation-runner options.
 func (c Config) runnerOpts() simrunner.Options {
-	return simrunner.Options{Workers: c.Workers, Progress: c.Progress}
+	return simrunner.Options{Workers: c.Workers, Progress: c.Progress, Obs: c.Obs, Sink: c.Sink}
 }
 
 // Default returns the full-scale configuration used by cmd/experiments.

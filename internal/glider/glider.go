@@ -16,7 +16,10 @@
 // exceeds an adaptively chosen threshold from {0, 30, 100, 300, 3000}.
 package glider
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Class is Glider's three-way insertion decision (§4.4 "Prediction").
 type Class int
@@ -189,6 +192,108 @@ func (p *Predictor) WeightsFor(pc uint64) (idx int, weights []int8) {
 	idx = p.tableIndex(pc)
 	row := p.weights[idx*p.cfg.WeightsPerISVM : (idx+1)*p.cfg.WeightsPerISVM]
 	return idx, append([]int8(nil), row...)
+}
+
+// WeightStats summarizes the ISVM table's weight distribution — the §4.4
+// diagnostic view of what the predictor has learned. Saturated counts warn
+// that training pressure exceeds the 8-bit weight range.
+type WeightStats struct {
+	// Total is the number of weights in the table.
+	Total int
+	// NonZero, Positive, Negative count trained weights by sign.
+	NonZero, Positive, Negative int
+	// Saturated counts weights pinned at ±127/−128.
+	Saturated int
+	// Min and Max are the extreme weight values.
+	Min, Max int
+	// MeanAbs is the mean absolute weight over non-zero weights.
+	MeanAbs float64
+}
+
+// WeightStatsNow computes the current weight distribution.
+func (p *Predictor) WeightStatsNow() WeightStats {
+	s := WeightStats{Total: len(p.weights)}
+	absSum := 0
+	for _, w := range p.weights {
+		v := int(w)
+		switch {
+		case v > 0:
+			s.Positive++
+		case v < 0:
+			s.Negative++
+		}
+		if v != 0 {
+			s.NonZero++
+			if v > 0 {
+				absSum += v
+			} else {
+				absSum -= v
+			}
+		}
+		if v >= 127 || v <= -128 {
+			s.Saturated++
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if s.NonZero > 0 {
+		s.MeanAbs = float64(absSum) / float64(s.NonZero)
+	}
+	return s
+}
+
+// RowSnapshot is one ISVM's weight vector, identified by table index (PCs
+// hash into indices, so the mapping is not invertible).
+type RowSnapshot struct {
+	// Index is the ISVM's position in the table.
+	Index int
+	// L1 is the row's L1 norm — a proxy for how much training it absorbed.
+	L1 int
+	// Weights is a copy of the row.
+	Weights []int8
+}
+
+// TopRows returns the n ISVM rows with the largest L1 norm, descending
+// (ties broken by index), skipping untouched all-zero rows.
+func (p *Predictor) TopRows(n int) []RowSnapshot {
+	if n <= 0 {
+		return nil
+	}
+	rows := make([]RowSnapshot, 0, n)
+	w := p.cfg.WeightsPerISVM
+	for idx := 0; idx < p.cfg.TableSize; idx++ {
+		row := p.weights[idx*w : (idx+1)*w]
+		l1 := 0
+		for _, v := range row {
+			if v >= 0 {
+				l1 += int(v)
+			} else {
+				l1 -= int(v)
+			}
+		}
+		if l1 == 0 {
+			continue
+		}
+		rows = append(rows, RowSnapshot{Index: idx, L1: l1})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].L1 != rows[j].L1 {
+			return rows[i].L1 > rows[j].L1
+		}
+		return rows[i].Index < rows[j].Index
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	for i := range rows {
+		idx := rows[i].Index
+		rows[i].Weights = append([]int8(nil), p.weights[idx*w:(idx+1)*w]...)
+	}
+	return rows
 }
 
 // NewPredictor builds a predictor; it panics on an invalid config (configs

@@ -1,0 +1,469 @@
+// Package obs is the simulator's observability layer: named counters,
+// fixed-bucket histograms, per-index vectors, and per-PC outcome tables
+// registered in a Registry, plus an optional per-event Sink (JSONL writer,
+// ring buffer) for trace-grounded records of individual decisions.
+//
+// The package is designed so that instrumentation compiled into hot paths
+// costs nearly nothing when observability is disabled:
+//
+//   - A nil *Registry hands out nil metrics, and every metric method has a
+//     nil-receiver fast path, so a disabled component pays one predictable
+//     branch per record call.
+//   - Sinks are plain interfaces; components guard emission with a nil
+//     check and build the event payload only when a sink is attached.
+//
+// All metric types are safe for concurrent use (atomic counters and
+// buckets), so a single Registry may be shared by parallel simulation jobs.
+// obs is a leaf package: it imports only the standard library, and every
+// simulation layer (cache, policy, opt, dram, simrunner, offline) imports
+// it to publish its own metrics bundle.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter silently discards updates so callers can hold
+// one unconditionally and pay only a nil check when observability is off.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" for a nil counter).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Vec is a fixed-length vector of atomic counters indexed by position —
+// per-set, per-class, per-verdict tallies. Small vectors may carry labels;
+// large ones (per-set) are summarized by sum/nonzero/max.
+type Vec struct {
+	name   string
+	labels []string
+	cells  []atomic.Uint64
+}
+
+// Inc adds one to cell i; out-of-range indices and nil vectors are ignored.
+func (v *Vec) Inc(i int) { v.Add(i, 1) }
+
+// Add adds n to cell i.
+func (v *Vec) Add(i int, n uint64) {
+	if v == nil || i < 0 || i >= len(v.cells) {
+		return
+	}
+	v.cells[i].Add(n)
+}
+
+// Len returns the vector length (0 for nil).
+func (v *Vec) Len() int {
+	if v == nil {
+		return 0
+	}
+	return len(v.cells)
+}
+
+// Value returns cell i's count.
+func (v *Vec) Value(i int) uint64 {
+	if v == nil || i < 0 || i >= len(v.cells) {
+		return 0
+	}
+	return v.cells[i].Load()
+}
+
+// Sum returns the total across all cells.
+func (v *Vec) Sum() uint64 {
+	if v == nil {
+		return 0
+	}
+	var total uint64
+	for i := range v.cells {
+		total += v.cells[i].Load()
+	}
+	return total
+}
+
+// Label returns the label for cell i, or its index rendered as a string.
+func (v *Vec) Label(i int) string {
+	if v != nil && i < len(v.labels) {
+		return v.labels[i]
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into the
+// first bucket whose upper bound is >= the value, with an implicit +Inf
+// overflow bucket, and the exact sum is tracked for mean computation.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~20) and the scan is
+	// branch-predictable, beating binary search at these sizes.
+	i := 0
+	for i < len(h.bounds) && x > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if c := h.Count(); c > 0 {
+		return h.Sum() / float64(c)
+	}
+	return 0
+}
+
+// Timer records durations into a histogram in seconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.h.Observe(d.Seconds())
+	}
+}
+
+// Histogram exposes the underlying histogram (nil for a nil timer).
+func (t *Timer) Histogram() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.h
+}
+
+// PCOutcome aggregates reuse behaviour for the lines one PC touches.
+type PCOutcome struct {
+	// Accesses, Hits, Misses count this PC's own references.
+	Accesses, Hits, Misses uint64
+	// Insertions counts lines this PC filled into the cache.
+	Insertions uint64
+	// EvictedReused / EvictedDead split this PC's evicted insertions by
+	// whether the line was touched again between fill and eviction. A high
+	// dead fraction marks a cache-averse PC — the signal Glider learns.
+	EvictedReused, EvictedDead uint64
+}
+
+// DeadFraction returns EvictedDead / (EvictedDead + EvictedReused).
+func (o PCOutcome) DeadFraction() float64 {
+	t := o.EvictedDead + o.EvictedReused
+	if t == 0 {
+		return 0
+	}
+	return float64(o.EvictedDead) / float64(t)
+}
+
+// HitRate returns Hits / Accesses.
+func (o PCOutcome) HitRate() float64 {
+	if o.Accesses == 0 {
+		return 0
+	}
+	return float64(o.Hits) / float64(o.Accesses)
+}
+
+// PCStats is a per-PC outcome table. It is mutex-guarded rather than
+// atomic: it is only touched when observability is enabled, so the disabled
+// path costs a single nil check.
+type PCStats struct {
+	name string
+	mu   sync.Mutex
+	m    map[uint64]*PCOutcome
+}
+
+// Access records one reference by pc.
+func (p *PCStats) Access(pc uint64, hit bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	o := p.get(pc)
+	o.Accesses++
+	if hit {
+		o.Hits++
+	} else {
+		o.Misses++
+	}
+	p.mu.Unlock()
+}
+
+// Insertion records that pc filled a line.
+func (p *PCStats) Insertion(pc uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.get(pc).Insertions++
+	p.mu.Unlock()
+}
+
+// Eviction records that a line inserted by pc was evicted, and whether it
+// was reused between fill and eviction.
+func (p *PCStats) Eviction(pc uint64, reused bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	o := p.get(pc)
+	if reused {
+		o.EvictedReused++
+	} else {
+		o.EvictedDead++
+	}
+	p.mu.Unlock()
+}
+
+func (p *PCStats) get(pc uint64) *PCOutcome {
+	o, ok := p.m[pc]
+	if !ok {
+		o = &PCOutcome{}
+		p.m[pc] = o
+	}
+	return o
+}
+
+// PCEntry pairs a PC with its outcomes for sorted reporting.
+type PCEntry struct {
+	PC uint64
+	PCOutcome
+}
+
+// Top returns the n most-accessed PCs in descending access order (ties
+// broken by PC for determinism). n <= 0 returns all.
+func (p *PCStats) Top(n int) []PCEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]PCEntry, 0, len(p.m))
+	for pc, o := range p.m {
+		out = append(out, PCEntry{PC: pc, PCOutcome: *o})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Entries returns every tracked PC's outcome (Top with no limit).
+func (p *PCStats) Entries() []PCEntry { return p.Top(0) }
+
+// Len returns the number of tracked PCs.
+func (p *PCStats) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// Registry owns a namespace of metrics. A nil Registry is the disabled
+// state: every constructor returns a nil metric whose methods no-op, so
+// components attach unconditionally and hot paths stay branch-cheap.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	vecs     map[string]*Vec
+	hists    map[string]*Histogram
+	pcs      map[string]*PCStats
+}
+
+// NewRegistry creates an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		vecs:     make(map[string]*Vec),
+		hists:    make(map[string]*Histogram),
+		pcs:      make(map[string]*PCStats),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Vec returns the named vector of size cells, creating it on first use.
+// Optional labels name the leading cells. A vector re-requested with a
+// different size keeps its original size.
+func (r *Registry) Vec(name string, size int, labels ...string) *Vec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.vecs[name]
+	if !ok {
+		if size < 0 {
+			size = 0
+		}
+		v = &Vec{name: name, labels: labels, cells: make([]atomic.Uint64, size)}
+		r.vecs[name] = v
+	}
+	return v
+}
+
+// Histogram returns the named histogram with the given ascending bucket
+// upper bounds (an overflow bucket is implicit), creating it on first use.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{name: name, bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns a timer over the named histogram with latency-shaped
+// buckets (1 µs … 100 s). Returns nil on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	return &Timer{h: r.Histogram(name, TimeBuckets)}
+}
+
+// PCStats returns the named per-PC outcome table, creating it on first use.
+func (r *Registry) PCStats(name string) *PCStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pcs[name]
+	if !ok {
+		p = &PCStats{name: name, m: make(map[uint64]*PCOutcome)}
+		r.pcs[name] = p
+	}
+	return p
+}
+
+// Attacher is implemented by components (policies, models) that can publish
+// metrics into a registry and per-event records into a sink. Builders probe
+// for it with a type assertion after construction, so components opt in
+// without widening their constructors.
+type Attacher interface {
+	AttachObs(reg *Registry, sink Sink)
+}
+
+// Flusher is implemented by components that emit end-of-run snapshot events
+// (e.g. Glider's ISVM weight dump). Drivers call it once before closing the
+// sink.
+type Flusher interface {
+	FlushObs()
+}
+
+// TimeBuckets is the default latency bucket layout in seconds.
+var TimeBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 60, 100}
+
+// LinearBuckets returns n ascending bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n ascending bounds start, start·factor, ….
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	x := start
+	for i := range out {
+		out[i] = x
+		x *= factor
+	}
+	return out
+}

@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"time"
 
 	"glider/internal/ml"
+	"glider/internal/obs"
 	"glider/internal/simrunner"
 )
 
@@ -135,6 +137,14 @@ type LSTMOptions struct {
 	Config ml.AttentionLSTMConfig
 	// Seed controls sequence subsampling.
 	Seed int64
+	// Obs, when non-nil, records per-epoch training metrics
+	// ("offline.epoch.*"). Purely observational: attaching a registry
+	// never changes training results.
+	Obs *obs.Registry
+	// Sink, when non-nil, receives one "epoch" event per epoch with loss,
+	// accuracy, and wall time — the producer for cmd/obsreport's training
+	// curve.
+	Sink obs.Sink
 }
 
 // DefaultLSTMOptions returns the settings used by the experiment harness:
@@ -192,8 +202,18 @@ func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, er
 		}
 	}
 
+	// Observability: per-epoch loss/accuracy/time. The nil fast paths make
+	// this free when no registry or sink is attached, and the loss sum is
+	// computed from values training already produces, so attaching obs never
+	// perturbs the trained weights.
+	epochTimer := opts.Obs.Timer("offline.epoch.seconds")
+	lossHist := opts.Obs.Histogram("offline.epoch.loss", obs.LinearBuckets(0.1, 0.1, 10))
+	accHist := opts.Obs.Histogram("offline.epoch.accuracy", obs.LinearBuckets(0.1, 0.1, 10))
+	seqsTrained := opts.Obs.Counter("offline.sequences.trained")
+
 	res := TrainResult{Model: "attention-lstm"}
 	for e := 0; e < opts.Epochs; e++ {
+		epochStart := time.Now()
 		seqs := trainSeqs
 		if opts.MaxTrainSequences > 0 && len(seqs) > opts.MaxTrainSequences {
 			perm := r.Perm(len(trainSeqs))
@@ -202,28 +222,65 @@ func TrainLSTM(d *Dataset, opts LSTMOptions) (*ml.AttentionLSTM, TrainResult, er
 				seqs[i] = trainSeqs[perm[i]]
 			}
 		}
+		var lossSum float64
 		if batch <= 1 {
 			for _, s := range seqs {
-				m.TrainSequence(s.Tokens, s.Labels, s.PredictFrom)
+				lossSum += m.TrainSequence(s.Tokens, s.Labels, s.PredictFrom)
 			}
-		} else if err := trainEpochParallel(m, shadows, seqs, batch, opts.Workers); err != nil {
-			return nil, TrainResult{}, err
+		} else {
+			sum, err := trainEpochParallel(m, shadows, seqs, batch, opts.Workers)
+			if err != nil {
+				return nil, TrainResult{}, err
+			}
+			lossSum = sum
 		}
-		res.EpochAccuracy = append(res.EpochAccuracy, EvalLSTM(m, testSeqs, opts.MaxEvalSequences, opts.Seed))
+		acc := EvalLSTM(m, testSeqs, opts.MaxEvalSequences, opts.Seed)
+		res.EpochAccuracy = append(res.EpochAccuracy, acc)
+
+		meanLoss := 0.0
+		if len(seqs) > 0 {
+			meanLoss = lossSum / float64(len(seqs))
+		}
+		elapsed := time.Since(epochStart)
+		epochTimer.Observe(elapsed)
+		lossHist.Observe(meanLoss)
+		accHist.Observe(acc)
+		seqsTrained.Add(uint64(len(seqs)))
+		if opts.Sink != nil {
+			opts.Sink.Emit("offline", "epoch", map[string]any{
+				"model":     res.Model,
+				"epoch":     e,
+				"loss":      meanLoss,
+				"accuracy":  acc,
+				"seconds":   elapsed.Seconds(),
+				"sequences": len(seqs),
+			})
+		}
 	}
 	return m, res, nil
 }
 
-// trainEpochParallel runs one epoch of minibatch training. Every batch is
-// partitioned into (at most) trainShards contiguous shards — a layout that
-// depends only on the batch length — and the shards run as simrunner jobs
-// on a pool of `workers` goroutines. Shard s always accumulates into
-// shadow s, in its sequences' order, and ReduceGrads folds the shadows
-// back in shard order, so the result is bit-identical to any other worker
-// count (including 1). The weights are frozen while a batch is in flight:
-// only StepBatch mutates them, after the pool has joined.
-func trainEpochParallel(m *ml.AttentionLSTM, shadows []*ml.AttentionLSTM, seqs []Sequence, batch, workers int) error {
+// shardResult is one shard's contribution to a minibatch: its summed
+// sequence loss plus the number of gradient-contributing positions.
+type shardResult struct {
+	loss float64
+	n    int
+}
+
+// trainEpochParallel runs one epoch of minibatch training and returns the
+// epoch's total sequence loss. Every batch is partitioned into (at most)
+// trainShards contiguous shards — a layout that depends only on the batch
+// length — and the shards run as simrunner jobs on a pool of `workers`
+// goroutines. Shard s always accumulates into shadow s, in its sequences'
+// order, and ReduceGrads folds the shadows back in shard order, so the
+// result is bit-identical to any other worker count (including 1). The
+// loss is likewise summed in shard order from the index-ordered results,
+// keeping the reported value worker-count-invariant too. The weights are
+// frozen while a batch is in flight: only StepBatch mutates them, after
+// the pool has joined.
+func trainEpochParallel(m *ml.AttentionLSTM, shadows []*ml.AttentionLSTM, seqs []Sequence, batch, workers int) (float64, error) {
 	ctx := context.Background()
+	total := 0.0
 	for start := 0; start < len(seqs); start += batch {
 		end := start + batch
 		if end > len(seqs) {
@@ -234,31 +291,36 @@ func trainEpochParallel(m *ml.AttentionLSTM, shadows []*ml.AttentionLSTM, seqs [
 		if ns > len(b) {
 			ns = len(b)
 		}
-		jobs := make([]simrunner.Job[int], ns)
+		jobs := make([]simrunner.Job[shardResult], ns)
 		for si := 0; si < ns; si++ {
 			lo := si * len(b) / ns
 			hi := (si + 1) * len(b) / ns
 			part := b[lo:hi]
 			sh := shadows[si]
-			jobs[si] = simrunner.Job[int]{
+			jobs[si] = simrunner.Job[shardResult]{
 				Key: simrunner.Key("train-lstm", "shard", strconv.Itoa(si)),
-				Run: func(ctx context.Context) (int, error) {
-					n := 0
+				Run: func(ctx context.Context) (shardResult, error) {
+					var res shardResult
 					for _, s := range part {
-						_, np := sh.AccumulateSequence(s.Tokens, s.Labels, s.PredictFrom)
-						n += np
+						loss, np := sh.AccumulateSequence(s.Tokens, s.Labels, s.PredictFrom)
+						res.loss += loss
+						res.n += np
 					}
-					return n, nil
+					return res, nil
 				},
 			}
 		}
-		if _, err := simrunner.Values(simrunner.Run(ctx, simrunner.Options{Workers: workers}, jobs)); err != nil {
-			return err
+		vals, err := simrunner.Values(simrunner.Run(ctx, simrunner.Options{Workers: workers}, jobs))
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range vals {
+			total += v.loss
 		}
 		m.ReduceGrads(shadows[:ns])
 		m.StepBatch(len(b))
 	}
-	return nil
+	return total, nil
 }
 
 // EvalLSTM measures sequence-labeling accuracy over test sequences. When

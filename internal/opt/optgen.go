@@ -1,5 +1,7 @@
 package opt
 
+import "glider/internal/obs"
+
 // OPTgen is the online occupancy-vector algorithm from the Hawkeye paper:
 // it reconstructs, for a single cache set, the decisions Belady's MIN would
 // have made over a sliding window of recent accesses. Hawkeye and Glider
@@ -17,6 +19,32 @@ type OPTgen struct {
 	occupancy []uint8
 	clock     uint64 // absolute per-set access count
 	last      map[uint64]uint64
+
+	// Observability (nil when disabled; see AttachObs).
+	obsVerdicts *obs.Vec
+	obsOcc      *obs.Histogram
+}
+
+// VerdictLabels names the Verdict values in order, for obs vectors.
+var VerdictLabels = []string{"miss", "hit", "cold", "expired"}
+
+// AttachObs publishes this instance's verdict counts and occupancy-vector
+// utilization into shared metrics (typically one pair shared by every
+// sampled set of a policy). Nil arguments leave observability disabled.
+func (g *OPTgen) AttachObs(verdicts *obs.Vec, occupancy *obs.Histogram) {
+	g.obsVerdicts = verdicts
+	g.obsOcc = occupancy
+}
+
+// utilization returns the mean occupancy over the history window as a
+// fraction of associativity — how full MIN's reconstructed cache is. Only
+// computed when observability is attached.
+func (g *OPTgen) utilization() float64 {
+	total := 0
+	for _, o := range g.occupancy {
+		total += int(o)
+	}
+	return float64(total) / float64(len(g.occupancy)*g.ways)
 }
 
 // DefaultWindowFactor is the history length multiplier used by Hawkeye
@@ -100,6 +128,10 @@ func (g *OPTgen) Access(block uint64) Verdict {
 				verdict = VerdictMiss
 			}
 		}
+	}
+	if g.obsVerdicts != nil || g.obsOcc != nil {
+		g.obsVerdicts.Inc(int(verdict))
+		g.obsOcc.Observe(g.utilization())
 	}
 	g.occupancy[t2%uint64(g.window)] = 0
 	g.last[block] = t2

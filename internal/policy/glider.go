@@ -3,6 +3,7 @@ package policy
 import (
 	"glider/internal/cache"
 	gl "glider/internal/glider"
+	"glider/internal/obs"
 	"glider/internal/opt"
 	"glider/internal/trace"
 )
@@ -40,6 +41,15 @@ type Glider struct {
 	predictor *gl.Predictor
 	samplers  map[int]*gliderSampler
 	accesses  uint64
+
+	// Observability (nil when disabled; see AttachObs).
+	obsSum         *obs.Histogram
+	obsClass       *obs.Vec
+	obsTrainPos    *obs.Counter
+	obsTrainNeg    *obs.Counter
+	obsOptVerdicts *obs.Vec
+	obsOptOcc      *obs.Histogram
+	sink           obs.Sink
 }
 
 // NewGlider builds a Glider policy with the paper's default predictor
@@ -66,6 +76,48 @@ func (p *Glider) Name() string { return "glider" }
 // measurements and Table 3 cost reporting).
 func (p *Glider) Predictor() *gl.Predictor { return p.predictor }
 
+// AttachObs implements obs.Attacher: predictor confidence (ISVM sum
+// distribution and three-way class counts), training-event counters, and
+// the sampled sets' OPTgen verdict/occupancy telemetry. Safe to call with
+// nil arguments (stays disabled).
+func (p *Glider) AttachObs(reg *obs.Registry, sink obs.Sink) {
+	if reg == nil && sink == nil {
+		return
+	}
+	p.obsSum = reg.Histogram("glider.predict.sum", obs.LinearBuckets(-120, 30, 9))
+	p.obsClass = reg.Vec("glider.predict.class", 3, gl.Averse.String(), gl.FriendlyLowConfidence.String(), gl.Friendly.String())
+	p.obsTrainPos = reg.Counter("glider.train.pos")
+	p.obsTrainNeg = reg.Counter("glider.train.neg")
+	p.obsOptVerdicts = reg.Vec("glider.optgen.verdict", len(opt.VerdictLabels), opt.VerdictLabels...)
+	p.obsOptOcc = reg.Histogram("glider.optgen.utilization", obs.LinearBuckets(0.1, 0.1, 10))
+	p.sink = sink
+	for _, s := range p.samplers {
+		s.optgen.AttachObs(p.obsOptVerdicts, p.obsOptOcc)
+	}
+}
+
+// FlushObs implements obs.Flusher: emits the ISVM weight distribution and
+// the most-trained rows as end-of-run events (Fig. 5-style inspection).
+func (p *Glider) FlushObs() {
+	if p.sink == nil {
+		return
+	}
+	ws := p.predictor.WeightStatsNow()
+	samples, pos, neg, skipped := p.predictor.DebugCounts()
+	p.sink.Emit("glider", "weights", map[string]any{
+		"total": ws.Total, "nonzero": ws.NonZero, "positive": ws.Positive,
+		"negative": ws.Negative, "saturated": ws.Saturated,
+		"min": ws.Min, "max": ws.Max, "mean_abs": ws.MeanAbs,
+		"samples": samples, "train_pos": pos, "train_neg": neg, "train_skipped": skipped,
+		"threshold": p.predictor.TrainingThreshold(),
+	})
+	for _, row := range p.predictor.TopRows(8) {
+		p.sink.Emit("glider", "isvm_row", map[string]any{
+			"index": row.Index, "l1": row.L1, "weights": row.Weights,
+		})
+	}
+}
+
 func (p *Glider) sampled(set int) *gliderSampler {
 	if set%samplerStride != 0 {
 		return nil
@@ -73,6 +125,7 @@ func (p *Glider) sampled(set int) *gliderSampler {
 	s, ok := p.samplers[set]
 	if !ok {
 		s = newGliderSampler(p.ways)
+		s.optgen.AttachObs(p.obsOptVerdicts, p.obsOptOcc)
 		p.samplers[set] = s
 	}
 	return s
@@ -114,10 +167,12 @@ func (p *Glider) Update(set, way int, pc, block uint64, core uint8, hit bool, ki
 		case opt.VerdictHit:
 			if prev, ok := s.last[block]; ok {
 				p.predictor.Train(prev.pc, prev.history, true)
+				p.obsTrainPos.Inc()
 			}
 		case opt.VerdictMiss, opt.VerdictExpired:
 			if prev, ok := s.last[block]; ok {
 				p.predictor.Train(prev.pc, prev.history, false)
+				p.obsTrainNeg.Inc()
 			}
 		}
 		s.last[block] = gliderSample{pc: pc, history: history, time: s.optgen.Clock()}
@@ -133,13 +188,18 @@ func (p *Glider) Update(set, way int, pc, block uint64, core uint8, hit bool, ki
 			for b, e := range s.last {
 				if now-e.time > window {
 					p.predictor.Train(e.pc, e.history, false)
+					p.obsTrainNeg.Inc()
 					delete(s.last, b)
 				}
 			}
 		}
 	}
 
-	_, class := p.predictor.Predict(pc, history)
+	sum, class := p.predictor.Predict(pc, history)
+	if p.obsSum != nil {
+		p.obsSum.Observe(float64(sum))
+		p.obsClass.Inc(int(class))
+	}
 	p.predictor.Observe(int(core), pc)
 
 	if way < 0 {

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"glider/internal/cache"
+	"glider/internal/obs"
 	"glider/internal/opt"
 	"glider/internal/trace"
 )
@@ -84,6 +85,29 @@ type Hawkeye struct {
 	samplers map[int]*hawkeyeSampler
 	accesses uint64
 	debug    TrainDebug
+
+	// Observability (nil when disabled; see AttachObs).
+	obsCounterHist *obs.Histogram
+	obsOptVerdicts *obs.Vec
+	obsOptOcc      *obs.Histogram
+	obsTrainPos    *obs.Counter
+	obsTrainNeg    *obs.Counter
+}
+
+// AttachObs implements obs.Attacher: per-PC counter confidence at predict
+// time, training-event counters, and the sampled sets' OPTgen telemetry.
+func (p *Hawkeye) AttachObs(reg *obs.Registry, sink obs.Sink) {
+	if reg == nil {
+		return
+	}
+	p.obsCounterHist = reg.Histogram("hawkeye.predict.counter", obs.LinearBuckets(-16, 4, 9))
+	p.obsTrainPos = reg.Counter("hawkeye.train.pos")
+	p.obsTrainNeg = reg.Counter("hawkeye.train.neg")
+	p.obsOptVerdicts = reg.Vec("hawkeye.optgen.verdict", len(opt.VerdictLabels), opt.VerdictLabels...)
+	p.obsOptOcc = reg.Histogram("hawkeye.optgen.utilization", obs.LinearBuckets(0.1, 0.1, 10))
+	for _, s := range p.samplers {
+		s.optgen.AttachObs(p.obsOptVerdicts, p.obsOptOcc)
+	}
 }
 
 // TrainDebug counts predictor training and prediction events, exposed for
@@ -127,11 +151,13 @@ func (p *Hawkeye) train(pc uint64, core uint8, shouldCache bool) {
 	c := p.counters[i]
 	if shouldCache {
 		p.debug.TrainPos++
+		p.obsTrainPos.Inc()
 		if c < hawkeyeCounterMax {
 			p.counters[i] = c + 1
 		}
 	} else {
 		p.debug.TrainNeg++
+		p.obsTrainNeg.Inc()
 		if c > hawkeyeCounterMin {
 			p.counters[i] = c - 1
 		}
@@ -146,6 +172,7 @@ func (p *Hawkeye) sampled(set int) *hawkeyeSampler {
 	s, ok := p.samplers[set]
 	if !ok {
 		s = newHawkeyeSampler(p.ways)
+		s.optgen.AttachObs(p.obsOptVerdicts, p.obsOptOcc)
 		p.samplers[set] = s
 	}
 	return s
@@ -205,6 +232,9 @@ func (p *Hawkeye) Update(set, way int, pc, block uint64, core uint8, hit bool, k
 		return
 	}
 	friendly := p.friendly(pc, core)
+	if p.obsCounterHist != nil {
+		p.obsCounterHist.Observe(float64(p.counters[p.counterIndex(pc, core)]))
+	}
 	if kind == trace.Writeback && !hit {
 		p.state.rrpv[set][way] = maxRRPV
 		return

@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"glider/internal/obs"
 )
 
 // Key builds a canonical job key from path-like parts, e.g.
@@ -118,6 +120,12 @@ type Options struct {
 	// Progress, when non-nil, is invoked after every job completes or is
 	// cancelled. Calls are serialized, so the callback needs no locking.
 	Progress func(Progress)
+	// Obs, when non-nil, receives job-latency and throughput metrics
+	// ("simrunner.*"). Safe to share across concurrent Run calls.
+	Obs *obs.Registry
+	// Sink, when non-nil, receives one "job" event per completed job and a
+	// "batch" event per Run, keyed for cmd/obsreport's per-policy grouping.
+	Sink obs.Sink
 }
 
 // Run executes the jobs on a bounded worker pool and returns one result per
@@ -142,6 +150,13 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 	if workers > n {
 		workers = n
 	}
+
+	// Observability: nil metrics no-op, so the disabled path costs only the
+	// per-job Observe/Inc nil checks (jobs are coarse units, not hot loops).
+	jobTimer := opts.Obs.Timer("simrunner.job.seconds")
+	jobsDone := opts.Obs.Counter("simrunner.jobs")
+	jobsFailed := opts.Obs.Counter("simrunner.jobs.failed")
+	batchStart := time.Now()
 
 	// progress serializes the callback and the done counter.
 	var mu sync.Mutex
@@ -169,6 +184,22 @@ func Run[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
 					results[i].Err = err
 				} else {
 					results[i] = runOne(ctx, jobs[i], i)
+					jobTimer.Observe(results[i].Duration)
+					jobsDone.Inc()
+					if results[i].Err != nil {
+						jobsFailed.Inc()
+					}
+					if opts.Sink != nil {
+						fields := map[string]any{
+							"key":     jobs[i].Key,
+							"seconds": results[i].Duration.Seconds(),
+							"ok":      results[i].Err == nil,
+						}
+						if results[i].Err != nil {
+							fields["error"] = results[i].Err.Error()
+						}
+						opts.Sink.Emit("simrunner", "job", fields)
+					}
 				}
 				report(i)
 			}
@@ -190,6 +221,16 @@ dispatch:
 	}
 	close(idx)
 	wg.Wait()
+	if opts.Obs != nil || opts.Sink != nil {
+		wall := time.Since(batchStart)
+		opts.Obs.Timer("simrunner.batch.seconds").Observe(wall)
+		if opts.Sink != nil {
+			opts.Sink.Emit("simrunner", "batch", map[string]any{
+				"jobs": n, "workers": workers, "seconds": wall.Seconds(),
+				"jobs_per_second": float64(n) / wall.Seconds(),
+			})
+		}
+	}
 	return results
 }
 

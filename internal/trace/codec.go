@@ -82,10 +82,13 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	}
 	// The count header is untrusted input: cap the preallocation so a
 	// corrupt or malicious header cannot demand count × 18 bytes up front.
-	// Append still grows the slice as records actually arrive.
-	capHint := int(count)
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	// The clamp happens in uint64 space — a count ≥ 2^63 converted to int
+	// first would go negative, dodge the cap, and panic makeslice (found by
+	// FuzzReadAuto). Append still grows the slice as records actually arrive.
+	const maxCapHint = 1 << 20
+	capHint := maxCapHint
+	if count < maxCapHint {
+		capHint = int(count)
 	}
 	t := New(string(name), capHint)
 	var rec [18]byte

@@ -59,6 +59,33 @@ func FuzzReadAuto(f *testing.F) {
 	})
 }
 
+func FuzzReadChampSim(f *testing.F) {
+	// One well-formed record: ip plus one store and one load address.
+	rec := make([]byte, ChampSimRecordSize)
+	copy(rec[0:8], []byte{0x00, 0x10, 0x40, 0, 0, 0, 0, 0})
+	rec[16] = 0x40 // destination_memory[0]
+	rec[32] = 0x80 // source_memory[0]
+	f.Add(rec)
+	f.Add(rec[:ChampSimRecordSize-1]) // truncated record
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadChampSim(bytes.NewReader(data), "fuzz", 1<<16)
+		if err != nil {
+			return
+		}
+		// Every decoded access must come from a non-zero memory slot and the
+		// trace length must respect the input size (≤ 6 accesses per record).
+		if max := 6 * (len(data) / ChampSimRecordSize); tr.Len() > max {
+			t.Fatalf("decoded %d accesses from %d records", tr.Len(), len(data)/ChampSimRecordSize)
+		}
+		for i, a := range tr.Accesses {
+			if a.Addr == 0 {
+				t.Fatalf("access %d decoded from a zero memory slot", i)
+			}
+		}
+	})
+}
+
 func sampleTraceF() *Trace {
 	t := New("fuzz-seed", 2)
 	t.Append(Access{PC: 1, Addr: 64, Kind: Load})

