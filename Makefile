@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet ci cover metrics-smoke fuzz-smoke
+.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,14 @@ race:
 # bench runs the training/kernel benchmarks at full fidelity and records
 # the results as JSON in BENCH_train.json (see cmd/benchjson). The raw
 # benchmark stream still prints to the terminal.
-bench:
+bench: bench-sim
 	$(GO) test -run XXX -bench . -benchmem ./internal/ml/ ./internal/offline/ | $(GO) run ./cmd/benchjson -o BENCH_train.json
+
+# bench-sim runs the simulator-side benchmarks (full sweeps plus the
+# hierarchy/trace-generation microbenchmarks) and records BENCH_sim.json —
+# the evidence file for hot-path optimization claims.
+bench-sim:
+	$(GO) test -run XXX -bench 'BenchmarkRunTable2Parallel|BenchmarkFig11Sweep|BenchmarkHierarchyAccess|BenchmarkTraceGenerate' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
 # check that the benchmarks themselves still work, with no timing claims.

@@ -240,8 +240,13 @@ func BenchmarkRunTable2Parallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := experiments.Quick()
 			cfg.Workers = workers
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				// Reset the trace store so every iteration measures a cold
+				// run, like one cmd/experiments invocation; a warm store
+				// across iterations would overstate the speedup.
+				workload.DefaultStore.Reset()
 				if _, err := experiments.RunTable2(cfg); err != nil {
 					b.Fatal(err)
 				}
@@ -250,7 +255,63 @@ func BenchmarkRunTable2Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFig11Sweep measures the full single-core policy sweep (33
+// benchmarks × 5 policies at Quick scale): the workload the trace store and
+// the fast upper-level filter target. BENCH_sim.json records its results.
+func BenchmarkFig11Sweep(b *testing.B) {
+	cfg := experiments.Quick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Cold store per iteration: see BenchmarkRunTable2Parallel.
+		workload.DefaultStore.Reset()
+		if _, err := experiments.RunFig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Microbenchmarks: raw simulator throughput ---
+
+// BenchmarkHierarchyAccess measures the per-access cost of the three-level
+// hierarchy under an LRU LLC: the hot loop every simulation pays, dominated
+// by the upper-level L1/L2 filter.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	spec, err := workload.Lookup("omnetpp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := spec.Generate(200_000, 42)
+	h, err := cpu.BuildHierarchy(1, "lru")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(tr.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.RunFunctional(tr, h, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGenerate measures raw synthetic trace generation — the cost
+// the shared trace store de-duplicates across policy jobs.
+func BenchmarkTraceGenerate(b *testing.B) {
+	spec, err := workload.Lookup("omnetpp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := spec.Generate(200_000, 42)
+		if tr.Len() != 200_000 {
+			b.Fatal("short trace")
+		}
+	}
+}
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	spec, err := workload.Lookup("omnetpp")

@@ -20,6 +20,7 @@ import (
 
 	"glider/internal/experiments"
 	"glider/internal/obs"
+	"glider/internal/prof"
 	"glider/internal/simrunner"
 )
 
@@ -39,7 +40,17 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-job progress on stderr")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when all experiments finish")
+	profiles := prof.Flags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// Runs on clean shutdown; error paths below flush explicitly before
+	// os.Exit so a partial CPU profile is still usable.
+	defer stopProf()
 
 	cfg := experiments.Default()
 	if *quick {
@@ -111,6 +122,7 @@ func main() {
 		start := time.Now()
 		if err := run(name, cfg, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			stopProf()
 			os.Exit(1)
 		}
 		if !*asJSON {

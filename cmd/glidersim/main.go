@@ -32,6 +32,7 @@ import (
 	"glider/internal/obs"
 	"glider/internal/offline"
 	"glider/internal/policy"
+	"glider/internal/prof"
 	"glider/internal/simrunner"
 	"glider/internal/trace"
 	"glider/internal/workload"
@@ -57,7 +58,17 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when the run finishes")
 	evictSample := flag.Uint64("metrics-evict-every", 0, "with -metrics: emit every Nth LLC eviction as an event (0 = none)")
+	profiles := prof.Flags(flag.CommandLine)
 	flag.Parse()
+
+	if stop, err := profiles.Start(); err != nil {
+		fatal(err)
+	} else {
+		stopProfiles = stop
+	}
+	// Runs on clean shutdown; fatal() flushes explicitly before os.Exit so a
+	// partial CPU profile is still usable on error paths.
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
@@ -319,7 +330,12 @@ func trainOffline(tr *trace.Trace, epochs, batch, workers int, seed int64, reg *
 	return nil
 }
 
+// stopProfiles finishes pprof output (see internal/prof); fatal must flush
+// it explicitly because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "glidersim:", err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -117,6 +117,9 @@ type Cache struct {
 	policy Policy
 	sets   [][]Line
 	stats  Stats
+	// fast, when non-nil, selects the specialized upper-level LRU path (see
+	// fastlru.go); policy and sets are unused on that path.
+	fast *fastLRU
 	// obs, when non-nil, receives per-access observability callbacks. The
 	// nil check is the only cost the instrumentation adds to a run with
 	// observability disabled.
@@ -170,6 +173,9 @@ func (c *Cache) SetIndex(block uint64) int { return int(block & uint64(c.cfg.Set
 
 // Lookup reports whether block is present without updating any state.
 func (c *Cache) Lookup(block uint64) bool {
+	if c.fast != nil {
+		return c.lookupFast(block)
+	}
 	set := c.SetIndex(block)
 	for _, l := range c.sets[set] {
 		if l.Valid && l.Tag == block {
@@ -182,6 +188,9 @@ func (c *Cache) Lookup(block uint64) bool {
 // Access performs one access. On a miss the line is filled (subject to the
 // policy's bypass decision) and the displaced line, if any, is reported.
 func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResult {
+	if c.fast != nil {
+		return c.accessFast(pc, block, core, kind)
+	}
 	set := c.SetIndex(block)
 	lines := c.sets[set]
 	c.stats.Accesses++
@@ -268,6 +277,10 @@ func (c *Cache) Access(pc, block uint64, core uint8, kind trace.Kind) AccessResu
 
 // Flush invalidates every line (without policy notifications).
 func (c *Cache) Flush() {
+	if c.fast != nil {
+		c.flushFast()
+		return
+	}
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			c.sets[s][w] = Line{}
@@ -277,6 +290,9 @@ func (c *Cache) Flush() {
 
 // Occupancy returns the fraction of valid lines, for diagnostics.
 func (c *Cache) Occupancy() float64 {
+	if c.fast != nil {
+		return c.occupancyFast()
+	}
 	valid := 0
 	for s := range c.sets {
 		for _, l := range c.sets[s] {

@@ -66,17 +66,28 @@ type LRUFactory func(sets, ways int) Policy
 
 // NewHierarchy builds a hierarchy with `cores` private L1/L2 pairs (using
 // upperPolicy to build their replacement state) and the given shared LLC.
+//
+// A nil upperPolicy selects the specialized fast LRU path (fastlru.go) for
+// the upper levels, which is bit-identical to New with the policy package's
+// LRU but avoids the per-access interface dispatch. Pass an explicit factory
+// only when the upper-level replacement state itself is under study.
 func NewHierarchy(cores int, llcCfg Config, llcPolicy Policy, upperPolicy LRUFactory) (*Hierarchy, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("cache: cores must be positive, got %d", cores)
 	}
+	newUpper := func(cfg Config) (*Cache, error) {
+		if upperPolicy == nil {
+			return NewUpperLRU(cfg)
+		}
+		return New(cfg, upperPolicy(cfg.Sets, cfg.Ways))
+	}
 	h := &Hierarchy{}
 	for i := 0; i < cores; i++ {
-		l1, err := New(L1DConfig, upperPolicy(L1DConfig.Sets, L1DConfig.Ways))
+		l1, err := newUpper(L1DConfig)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := New(L2Config, upperPolicy(L2Config.Sets, L2Config.Ways))
+		l2, err := newUpper(L2Config)
 		if err != nil {
 			return nil, err
 		}

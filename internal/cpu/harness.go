@@ -48,8 +48,11 @@ func BuildHierarchyObs(cores int, policyName string, oo ObsOptions) (*cache.Hier
 	if a, ok := p.(obs.Attacher); ok && (oo.Registry != nil || oo.Sink != nil) {
 		a.AttachObs(oo.Registry, oo.Sink)
 	}
-	upper := func(sets, ways int) cache.Policy { return policy.NewLRU(sets, ways) }
-	h, err := cache.NewHierarchy(cores, llcCfg, p, upper)
+	// nil upper factory selects the specialized fast LRU path for L1/L2 —
+	// bit-identical to policy.NewLRU (see cache/fastlru.go and the
+	// equivalence suite in equivalence_test.go) without per-access policy
+	// dispatch.
+	h, err := cache.NewHierarchy(cores, llcCfg, p, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +73,7 @@ func FlushHierarchyObs(h *cache.Hierarchy) {
 // SingleCore runs one benchmark with one policy and full timing, warming up
 // on the first fifth of the trace (mirroring the paper's 200M-of-1B warmup).
 func SingleCore(spec workload.Spec, policyName string, accesses int, seed int64) (Result, error) {
-	t := spec.Generate(accesses, seed)
+	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return Result{}, err
@@ -82,7 +85,7 @@ func SingleCore(spec workload.Spec, policyName string, accesses int, seed int64)
 // SingleCoreMissRate runs one benchmark functionally and returns the LLC
 // miss rate (Figure 11's underlying metric).
 func SingleCoreMissRate(spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
-	t := spec.Generate(accesses, seed)
+	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return 0, err
@@ -100,7 +103,7 @@ func MultiCore(mix workload.Mix, policyName string, accessesPerCore int, seed in
 	cores := len(mix.Members)
 	perCore := make([]*trace.Trace, cores)
 	for i, spec := range mix.Members {
-		perCore[i] = spec.Generate(accessesPerCore, seed+int64(i))
+		perCore[i] = workload.Shared(spec, accessesPerCore, seed+int64(i))
 	}
 	merged := trace.Interleave(fmt.Sprintf("mix%d", mix.ID), perCore...)
 	h, err := BuildHierarchy(cores, policyName)
@@ -115,7 +118,7 @@ func MultiCore(mix workload.Mix, policyName string, accessesPerCore int, seed in
 // (shared LLC geometry and 12.8 GB/s DRAM): the IPCsingle baseline of §5.1,
 // which is defined as "executing in isolation on the same cache".
 func SoloOnShared(spec workload.Spec, cores int, policyName string, accesses int, seed int64) (Result, error) {
-	t := spec.Generate(accesses, seed)
+	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(cores, policyName)
 	if err != nil {
 		return Result{}, err

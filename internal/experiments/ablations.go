@@ -44,7 +44,7 @@ func RunAblationOptgenVsBelady(cfg Config) (Ablation, error) {
 	if err != nil {
 		return Ablation{}, err
 	}
-	t := spec.Generate(cfg.Accesses, cfg.Seed)
+	t := workload.Shared(spec, cfg.Accesses, cfg.Seed)
 	h, err := cpu.BuildHierarchy(1, "lru")
 	if err != nil {
 		return Ablation{}, err
@@ -120,11 +120,10 @@ func RunAblationOrderedVsUnordered(cfg Config) (Ablation, error) {
 
 // gliderMissRate runs one benchmark under a custom Glider configuration.
 func gliderMissRate(spec workload.Spec, cfg Config, gcfg gl.Config) (float64, error) {
-	t := spec.Generate(cfg.Accesses, cfg.Seed)
+	t := workload.Shared(spec, cfg.Accesses, cfg.Seed)
 	llc := cache.LLCConfig
 	p := policy.NewGliderWithConfig(llc.Sets, llc.Ways, gcfg)
-	upper := func(s, w int) cache.Policy { return policy.NewLRU(s, w) }
-	h, err := cache.NewHierarchy(1, llc, p, upper)
+	h, err := cache.NewHierarchy(1, llc, p, nil)
 	if err != nil {
 		return 0, err
 	}

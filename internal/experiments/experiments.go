@@ -174,8 +174,9 @@ func RunTable2(cfg Config) (Table2, error) {
 				}
 				addrs := make(map[uint64]struct{})
 				// The dataset carries PCs; recover address counts from the
-				// raw trace's LLC stream statistics instead.
-				tr := spec.Generate(cfg.OfflineAccesses, cfg.Seed)
+				// raw trace's LLC stream statistics instead. The store hands
+				// back the trace the dataset build just generated.
+				tr := workload.Shared(spec, cfg.OfflineAccesses, cfg.Seed)
 				for _, a := range tr.Accesses {
 					addrs[a.Block()] = struct{}{}
 				}
@@ -503,7 +504,7 @@ type Fig10 struct {
 // onlineAccuracy runs a benchmark with the policy and compares the
 // policy-exposed predictions against exact MIN labels of the LLC stream.
 func onlineAccuracy(spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
-	t := spec.Generate(accesses, seed)
+	t := workload.Shared(spec, accesses, seed)
 	h, err := cpu.BuildHierarchy(1, policyName)
 	if err != nil {
 		return 0, err

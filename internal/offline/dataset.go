@@ -12,7 +12,6 @@ import (
 
 	"glider/internal/cache"
 	"glider/internal/opt"
-	"glider/internal/policy"
 	"glider/internal/trace"
 	"glider/internal/workload"
 )
@@ -72,7 +71,7 @@ const tailDropFraction = 0.2
 // caches to obtain the LLC access stream, and labels that stream with exact
 // Belady MIN decisions for the Table 1 LLC geometry.
 func BuildDataset(spec workload.Spec, accesses int, seed int64) (*Dataset, error) {
-	t := spec.Generate(accesses, seed)
+	t := workload.Shared(spec, accesses, seed)
 	return BuildDatasetFromTrace(t)
 }
 
@@ -108,20 +107,42 @@ func BuildDatasetFromTrace(t *trace.Trace) (*Dataset, error) {
 }
 
 // filterToLLC runs the trace through LRU L1 and L2 caches and returns the
-// stream of accesses that reached the LLC.
+// stream of demand accesses that missed both, i.e. reached the LLC.
+//
+// This reproduces cache.Hierarchy exactly but without simulating the LLC:
+// whether a demand access reaches the LLC depends only on L1/L2 state, and
+// nothing in the hierarchy flows back up from the LLC (no inclusion or
+// back-invalidation; writebacks travel strictly downward), so the LLC
+// simulation — half the filtering cost — can be dropped without changing a
+// single emitted access. TestFilterToLLCEquivalence pins this against the
+// full hierarchy for every registered workload.
 func filterToLLC(t *trace.Trace) (*trace.Trace, error) {
-	upper := func(sets, ways int) cache.Policy { return policy.NewLRU(sets, ways) }
-	h, err := cache.NewHierarchy(1, cache.LLCConfig, policy.NewLRU(cache.LLCConfig.Sets, cache.LLCConfig.Ways), upper)
+	l1, err := cache.NewUpperLRU(cache.L1DConfig)
 	if err != nil {
 		return nil, err
 	}
-	out := trace.New(t.Name+".llc", t.Len()/2)
+	l2, err := cache.NewUpperLRU(cache.L2Config)
+	if err != nil {
+		return nil, err
+	}
+	out := trace.New(t.Name+".llc", 0)
 	for _, a := range t.Accesses {
 		a.Core = 0
-		res := h.Access(a)
-		if res.LLCAccessed {
-			out.Append(a)
+		block := a.Block()
+		// Mirror cache.Hierarchy.Access order: L1 demand, then the dirty L1
+		// victim's L2 writeback, then (on an L1 miss) the L2 demand access.
+		// L2 evictions would go to the LLC and are discarded here.
+		r1 := l1.Access(a.PC, block, 0, a.Kind)
+		if r1.WritebackNeeded {
+			l2.Access(r1.EvictedLine.PC, r1.EvictedLine.Tag, r1.EvictedLine.Core, trace.Writeback)
 		}
+		if r1.Hit {
+			continue
+		}
+		if r2 := l2.Access(a.PC, block, 0, a.Kind); r2.Hit {
+			continue
+		}
+		out.Append(a)
 	}
 	return out, nil
 }

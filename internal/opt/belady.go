@@ -17,7 +17,10 @@ const noUse = int(^uint(0) >> 1) // max int
 // accessed again.
 func NextUse(t *trace.Trace) []int {
 	next := make([]int, t.Len())
-	last := make(map[uint64]int, 1024)
+	// Size the block→last-seen map for the trace up front: distinct blocks
+	// routinely reach half the access count on the LLC streams this labels,
+	// and incremental rehashing of an undersized map dominates the pass.
+	last := make(map[uint64]int, t.Len()/2+1)
 	for i := t.Len() - 1; i >= 0; i-- {
 		b := t.Accesses[i].Block()
 		if j, ok := last[b]; ok {
@@ -52,10 +55,14 @@ func (r Result) HitRate() float64 {
 	return float64(r.Hits) / float64(total)
 }
 
-// entry is one cached block in the exact simulator.
+// entry is one cached block in the exact simulator. lastAccess is the index
+// of the most recent access to the block; because a resident block always
+// hits, every access to it either created the entry or updated it, so this
+// field replaces a block→previous-access map on the hit path.
 type entry struct {
-	block   uint64
-	nextUse int
+	block      uint64
+	nextUse    int
+	lastAccess int
 }
 
 // SimulateMIN runs Belady's MIN (with bypass, as in the Cache Replacement
@@ -67,8 +74,13 @@ func SimulateMIN(t *trace.Trace, sets, ways int) Result {
 		Hit:         make([]bool, t.Len()),
 		ShouldCache: make([]bool, t.Len()),
 	}
+	// One contiguous backing array for all sets: each set grows into its own
+	// ways-sized window, so the simulation allocates nothing per access.
 	content := make([][]entry, sets)
-	prevAccess := make(map[uint64]int, 1024)
+	backing := make([]entry, sets*ways)
+	for s := range content {
+		content[s] = backing[s*ways : s*ways : (s+1)*ways]
+	}
 	mask := uint64(sets - 1)
 
 	for i, a := range t.Accesses {
@@ -87,10 +99,11 @@ func SimulateMIN(t *trace.Trace, sets, ways int) Result {
 		if hitWay >= 0 {
 			res.Hit[i] = true
 			res.Hits++
+			// The previous access to this block kept the line until reuse:
+			// label it cache-friendly.
+			res.ShouldCache[set[hitWay].lastAccess] = true
 			set[hitWay].nextUse = next[i]
-			if p, ok := prevAccess[b]; ok {
-				res.ShouldCache[p] = true
-			}
+			set[hitWay].lastAccess = i
 		} else {
 			res.Misses++
 			// The previous toucher of this block (if any) failed to keep it:
@@ -99,7 +112,7 @@ func SimulateMIN(t *trace.Trace, sets, ways int) Result {
 				// Insert, evicting the entry with the furthest next use —
 				// possibly the incoming line itself (bypass).
 				if len(set) < ways {
-					content[s] = append(set, entry{b, next[i]})
+					content[s] = append(set, entry{b, next[i], i})
 				} else {
 					victim := -1
 					furthest := next[i] // incoming line's reuse distance
@@ -110,14 +123,13 @@ func SimulateMIN(t *trace.Trace, sets, ways int) Result {
 						}
 					}
 					if victim >= 0 {
-						set[victim] = entry{b, next[i]}
+						set[victim] = entry{b, next[i], i}
 					}
 					// victim == -1 means the incoming line is reused
 					// furthest: bypass it.
 				}
 			}
 		}
-		prevAccess[b] = i
 	}
 	return res
 }

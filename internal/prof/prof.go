@@ -1,0 +1,82 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// simulator commands so performance work starts from pprof data rather than
+// guesses. Usage:
+//
+//	p := prof.Flags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := p.Start()
+//	// on fatal-error paths and at the end of main:
+//	stop()
+//
+// Start begins CPU profiling immediately; the returned stop function ends it
+// and writes the heap profile, so both files are complete on clean shutdown.
+// stop is idempotent, making it safe to both defer and call explicitly
+// before os.Exit (deferred calls don't run on os.Exit).
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the flag values registered by Flags.
+type Profiles struct {
+	cpuPath string
+	memPath string
+
+	cpuFile *os.File
+	stopped bool
+}
+
+// Flags registers -cpuprofile and -memprofile on fs.
+func Flags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if requested. Call after flag parsing. The
+// returned stop must run before the process exits; it finishes the CPU
+// profile and writes the heap profile.
+func (p *Profiles) Start() (stop func(), err error) {
+	if p.cpuPath != "" {
+		p.cpuFile, err = os.Create(p.cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+func (p *Profiles) stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize a settled heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+		}
+	}
+}

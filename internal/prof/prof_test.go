@@ -1,0 +1,66 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilesWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := Flags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	stop() // idempotent
+
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfilesDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // no-op without flags
+}
+
+func TestProfilesBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := Flags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("expected error for unwritable profile path")
+	}
+}

@@ -1,0 +1,214 @@
+package workload
+
+// Shared trace store.
+//
+// Every experiment sweep is a cross-product of benchmarks × policies, and
+// each policy job used to regenerate its benchmark trace from scratch: a
+// Fig11-style sweep paid 33×5 generations for 33 distinct traces. Generated
+// traces are immutable once returned (nothing in the repo mutates
+// trace.Accesses after generation), so concurrent jobs can share one
+// *trace.Trace per (spec, n, seed) key. The store de-duplicates generation
+// with a singleflight: the first Get for a key generates while later ones
+// block on the same entry, guaranteeing exactly one generation per key even
+// under a concurrent worker pool.
+
+import (
+	"container/list"
+	"sync"
+
+	"glider/internal/trace"
+)
+
+// accessBytes is the in-memory size of one trace.Access (two uint64 plus
+// Core/Kind, padded); used for the store's capacity accounting.
+const accessBytes = 24
+
+// StoreKey identifies one generated trace. Spec.Generate is a pure function
+// of these three values, so the key fully determines the contents.
+type StoreKey struct {
+	Name string
+	N    int
+	Seed int64
+}
+
+// StoreStats counts store traffic, for tests and diagnostics.
+type StoreStats struct {
+	// Hits is the number of Gets served from a cached (or in-flight) entry.
+	Hits uint64
+	// Misses is the number of Gets that had to generate.
+	Misses uint64
+	// Evictions is the number of entries dropped by the capacity bound or
+	// Release.
+	Evictions uint64
+}
+
+// storeEntry is one cached trace. ready is closed when tr is populated; Gets
+// that find an in-flight entry block on it, and the close gives them a
+// happens-before edge on the generation's writes, so the shared trace is
+// race-free without further locking.
+type storeEntry struct {
+	ready   chan struct{}
+	tr      *trace.Trace
+	bytes   int64
+	lruElem *list.Element
+	evicted bool
+}
+
+// Store is a content-addressed cache of generated traces. The zero value is
+// not usable; use NewStore. All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	entries  map[StoreKey]*storeEntry
+	lru      *list.List // front = most recently used; values are StoreKey
+	bytes    int64
+	maxBytes int64 // 0 = unbounded
+	stats    StoreStats
+}
+
+// NewStore returns an empty store. maxBytes bounds the resident trace bytes
+// (approximate, counting accesses only); 0 means unbounded. When the bound
+// is exceeded, least-recently-used entries are dropped — a dropped trace is
+// still valid for holders of the pointer (traces are immutable), the store
+// just regenerates on the next Get.
+func NewStore(maxBytes int64) *Store {
+	return &Store{
+		entries:  make(map[StoreKey]*storeEntry),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+	}
+}
+
+// Get returns the trace for (spec, n, seed), generating it at most once per
+// key no matter how many goroutines ask concurrently. The returned trace is
+// shared and must be treated as read-only.
+func (s *Store) Get(spec Spec, n int, seed int64) *trace.Trace {
+	key := StoreKey{Name: spec.Name, N: n, Seed: seed}
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		if e.lruElem != nil {
+			s.lru.MoveToFront(e.lruElem)
+		}
+		s.mu.Unlock()
+		<-e.ready
+		return e.tr
+	}
+	e := &storeEntry{ready: make(chan struct{})}
+	s.entries[key] = e
+	e.lruElem = s.lru.PushFront(key)
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	tr := spec.Generate(n, seed)
+
+	s.mu.Lock()
+	e.tr = tr
+	e.bytes = int64(tr.Len()) * accessBytes
+	// The entry may have been evicted while generating (Release, or LRU
+	// pressure from other keys); if so its bytes were never accounted and
+	// must not be added now.
+	if !e.evicted {
+		s.bytes += e.bytes
+		s.evictOverLocked(key)
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	return tr
+}
+
+// evictOverLocked drops least-recently-used entries until the store is back
+// under its bound. keep is never evicted: the entry just finished generating
+// and is being handed to callers, so dropping it would only force an
+// immediate regeneration. Requires s.mu held.
+func (s *Store) evictOverLocked(keep StoreKey) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(StoreKey)
+		if key == keep {
+			// keep is the only entry left; an over-bound single trace stays
+			// resident rather than thrashing.
+			return
+		}
+		s.removeLocked(key)
+	}
+}
+
+// removeLocked drops one entry. In-flight entries (tr not yet set) have no
+// accounted bytes; they are unlinked and flagged so their generation does
+// not add bytes later. Requires s.mu held.
+func (s *Store) removeLocked(key StoreKey) {
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	delete(s.entries, key)
+	if e.lruElem != nil {
+		s.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	if !e.evicted && e.tr != nil {
+		s.bytes -= e.bytes
+	}
+	e.evicted = true
+	s.stats.Evictions++
+}
+
+// Release drops the entry for (spec, n, seed) if present, freeing its bytes
+// for the capacity bound. Existing holders of the trace pointer are
+// unaffected. Use it when a sweep is done with a benchmark and the store is
+// bounded tightly.
+func (s *Store) Release(spec Spec, n int, seed int64) {
+	key := StoreKey{Name: spec.Name, N: n, Seed: seed}
+	s.mu.Lock()
+	if _, ok := s.entries[key]; ok {
+		s.removeLocked(key)
+	}
+	s.mu.Unlock()
+}
+
+// Reset drops every entry. Benchmarks use it to measure cold-store runs.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.entries = make(map[StoreKey]*storeEntry)
+	s.lru.Init()
+	s.bytes = 0
+	s.stats = StoreStats{}
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Bytes returns the approximate resident size of cached traces.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// defaultStoreMaxBytes bounds the process-wide store at 2 GiB of accesses —
+// generous for Quick-scale sweeps (33 benchmarks × 60k accesses ≈ 48 MB)
+// while still bounding paper-scale multi-gigabyte runs.
+const defaultStoreMaxBytes = 2 << 30
+
+// DefaultStore is the process-wide store used by the experiment harness and
+// cpu harness. Tests and benchmarks may Reset it.
+var DefaultStore = NewStore(defaultStoreMaxBytes)
+
+// Shared returns spec.Generate(n, seed) through DefaultStore: identical
+// contents, generated once per key process-wide, shared read-only across
+// callers.
+func Shared(spec Spec, n int, seed int64) *trace.Trace {
+	return DefaultStore.Get(spec, n, seed)
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStoreDeterminism: a stored trace is the same pointer on repeated Gets
+// and bit-identical to a direct Generate with the same key.
+func TestStoreDeterminism(t *testing.T) {
+	t.Parallel()
+	spec, err := Lookup("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0)
+	got := s.Get(spec, 5000, 42)
+	direct := spec.Generate(5000, 42)
+	if !reflect.DeepEqual(got, direct) {
+		t.Fatal("stored trace differs from direct Generate")
+	}
+	if again := s.Get(spec, 5000, 42); again != got {
+		t.Fatal("second Get returned a different pointer")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	// Different seed or length is a different trace.
+	if other := s.Get(spec, 5000, 43); other == got {
+		t.Fatal("different seed returned the same trace")
+	}
+	if other := s.Get(spec, 4000, 42); other == got {
+		t.Fatal("different length returned the same trace")
+	}
+}
+
+// TestStoreSingleflight: N concurrent Gets for one key share one generation.
+func TestStoreSingleflight(t *testing.T) {
+	t.Parallel()
+	spec, err := Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	ptrs := make([]uintptr, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := s.Get(spec, 20_000, 7)
+			if tr.Len() != 20_000 {
+				t.Errorf("goroutine %d: short trace %d", i, tr.Len())
+			}
+			ptrs[i] = reflect.ValueOf(tr).Pointer()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatalf("goroutine %d got a different trace pointer", i)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (singleflight)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+}
+
+// TestStoreEviction: a bounded store drops least-recently-used entries and
+// regenerates them on demand; dropped traces stay valid for holders.
+func TestStoreEviction(t *testing.T) {
+	t.Parallel()
+	spec, err := Lookup("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each 1000-access trace is 24 kB; bound the store to two of them.
+	s := NewStore(2 * 1000 * accessBytes)
+	t0 := s.Get(spec, 1000, 0)
+	s.Get(spec, 1000, 1)
+	s.Get(spec, 1000, 2) // evicts seed 0
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if s.Bytes() > 2*1000*accessBytes {
+		t.Fatalf("bytes = %d over bound", s.Bytes())
+	}
+	// Seed 0 was dropped: the old pointer is still a valid trace, and the
+	// next Get is a fresh miss.
+	if t0.Len() != 1000 {
+		t.Fatal("evicted trace corrupted")
+	}
+	before := s.Stats().Misses
+	r0 := s.Get(spec, 1000, 0)
+	if s.Stats().Misses != before+1 {
+		t.Fatal("expected regeneration after eviction")
+	}
+	if !reflect.DeepEqual(r0, t0) {
+		t.Fatal("regenerated trace differs from original")
+	}
+	// A single trace larger than the whole bound still gets cached rather
+	// than thrashing.
+	big := s.Get(spec, 5000, 9)
+	if again := s.Get(spec, 5000, 9); again != big {
+		t.Fatal("over-bound trace was not retained")
+	}
+}
+
+// TestStoreRelease: Release drops exactly the named entry.
+func TestStoreRelease(t *testing.T) {
+	t.Parallel()
+	spec, err := Lookup("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0)
+	first := s.Get(spec, 1000, 0)
+	s.Get(spec, 1000, 1)
+	s.Release(spec, 1000, 0)
+	s.Release(spec, 1000, 0) // idempotent
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if s.Bytes() != 1000*accessBytes {
+		t.Fatalf("bytes = %d, want %d", s.Bytes(), 1000*accessBytes)
+	}
+	if again := s.Get(spec, 1000, 0); again == first {
+		t.Fatal("released entry still cached")
+	}
+	if again := s.Get(spec, 1000, 1); again == first {
+		t.Fatal("wrong entry released")
+	}
+}
+
+// TestStoreReset: Reset empties the store completely.
+func TestStoreReset(t *testing.T) {
+	t.Parallel()
+	spec, err := Lookup("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0)
+	first := s.Get(spec, 1000, 0)
+	s.Reset()
+	if s.Bytes() != 0 {
+		t.Fatalf("bytes = %d after Reset", s.Bytes())
+	}
+	if again := s.Get(spec, 1000, 0); again == first {
+		t.Fatal("entry survived Reset")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+// TestSharedMatchesGenerate: the package-level helper goes through
+// DefaultStore and matches a direct Generate bit for bit.
+func TestSharedMatchesGenerate(t *testing.T) {
+	spec, err := Lookup("sphinx3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Shared(spec, 3000, 11)
+	if !reflect.DeepEqual(got, spec.Generate(3000, 11)) {
+		t.Fatal("Shared differs from Generate")
+	}
+	if Shared(spec, 3000, 11) != got {
+		t.Fatal("Shared did not cache")
+	}
+}
