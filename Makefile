@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke
+.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke soak
 
 build:
 	$(GO) build ./...
@@ -48,12 +48,24 @@ metrics-smoke:
 	$(GO) run ./cmd/glidersim -bench omnetpp -policy glider -accesses 100000 -metrics /tmp/glider-metrics.jsonl -metrics-summary
 	$(GO) run ./cmd/obsreport /tmp/glider-metrics.jsonl
 
-# fuzz-smoke gives each trace-decoder fuzz target a short budget on top of
-# the checked-in seed corpus (which plain `go test` already replays).
+# fuzz-smoke gives each fuzz target a short budget on top of the checked-in
+# seed corpus (which plain `go test` already replays).
 fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^FuzzReadBinary$$' -fuzz '^FuzzReadBinary$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^FuzzReadText$$' -fuzz '^FuzzReadText$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^FuzzReadAuto$$' -fuzz '^FuzzReadAuto$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^FuzzReadChampSim$$' -fuzz '^FuzzReadChampSim$$' -fuzztime 10s
+	$(GO) test ./internal/server/ -run '^FuzzJobSpecDecode$$' -fuzz '^FuzzJobSpecDecode$$' -fuzztime 10s
+	$(GO) test ./internal/server/ -run '^FuzzJobHash$$' -fuzz '^FuzzJobHash$$' -fuzztime 10s
+
+# server-smoke runs the gliderd service layer and its typed client under the
+# race detector — the fast (-short) subset, mirroring CI's server-smoke job.
+server-smoke:
+	$(GO) test -race -count 1 -short ./internal/server/... ./internal/client/...
+
+# soak drives sustained concurrent load (real simulations, cache churn,
+# mixed sim/predict traffic) through a live server under -race.
+soak:
+	$(GO) test -race -count 1 -run 'TestSoak' ./internal/server/
 
 ci: vet build test race cover

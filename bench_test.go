@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -289,7 +290,7 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cpu.RunFunctional(tr, h, 0, false); err != nil {
+		if _, err := cpu.RunFunctional(context.Background(), tr, h, 0, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,7 +329,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.SetBytes(int64(tr.Len()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := cpu.RunFunctional(tr, h, 0, false); err != nil {
+				if _, err := cpu.RunFunctional(context.Background(), tr, h, 0, false); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,75 @@
+// Command gliderd serves the repository's simulation engine over HTTP: a
+// batched, backpressured JSON API for simulation cells and prediction
+// queries (see internal/server and DESIGN.md §11).
+//
+// Quickstart:
+//
+//	gliderd -addr :8080 &
+//	curl -s localhost:8080/v1/catalog
+//	curl -s -X POST localhost:8080/v1/sim \
+//	  -d '{"workload":"omnetpp","policy":"glider","accesses":200000,"seed":42}'
+//
+// SIGINT/SIGTERM triggers a graceful drain: running simulations finish,
+// queued and new requests are rejected with 503, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"glider/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queueDepth := flag.Int("queue", 64, "bounded job queue depth (full queue answers 429)")
+	workers := flag.Int("workers", 0, "simulation pool workers (0 = one per CPU)")
+	batchMax := flag.Int("batch-max", 8, "max jobs dispatched to the pool per batch")
+	cacheEntries := flag.Int("cache", 256, "result cache entries")
+	defaultTimeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxAccesses := flag.Int("max-accesses", 2_000_000, "max accesses one job may request")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		BatchMax:       *batchMax,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defaultTimeout,
+		Limits:         server.Limits{MaxAccesses: *maxAccesses},
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("gliderd: listening on %s (queue=%d workers=%d batch-max=%d)", *addr, *queueDepth, *workers, *batchMax)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("gliderd: %s received, draining (in-flight finishes, queue rejects)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("gliderd: drain incomplete: %v", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("gliderd: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "gliderd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -147,7 +147,7 @@ func main() {
 		}
 		d := dram.New(dcfg)
 		d.AttachObs(reg)
-		res, err := cpu.Run(tr, h, d, cpu.DefaultCoreConfig(), warmup)
+		res, err := cpu.Run(context.Background(), tr, h, d, cpu.DefaultCoreConfig(), warmup)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +167,7 @@ func main() {
 		return
 	}
 
-	res, err := cpu.RunFunctional(tr, h, warmup, false)
+	res, err := cpu.RunFunctional(context.Background(), tr, h, warmup, false)
 	if err != nil {
 		fatal(err)
 	}
@@ -253,7 +253,7 @@ func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, war
 					return polStats{}, err
 				}
 				if !timing {
-					res, err := cpu.RunFunctional(tr, h, warmup, false)
+					res, err := cpu.RunFunctional(ctx, tr, h, warmup, false)
 					if err != nil {
 						return polStats{}, fmt.Errorf("%s: %w", pol, err)
 					}
@@ -263,7 +263,7 @@ func comparePolicies(tr *trace.Trace, pols []string, cores int, timing bool, war
 				if cores > 1 {
 					dcfg = dram.QuadCoreConfig()
 				}
-				res, err := cpu.Run(tr, h, dram.New(dcfg), cpu.DefaultCoreConfig(), warmup)
+				res, err := cpu.Run(ctx, tr, h, dram.New(dcfg), cpu.DefaultCoreConfig(), warmup)
 				if err != nil {
 					return polStats{}, fmt.Errorf("%s: %w", pol, err)
 				}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -38,11 +39,11 @@ func main() {
 		if len(label) > 42 {
 			label = label[:42]
 		}
-		lru, err := cpu.WeightedSpeedup(mix, "lru", perCore, 42)
+		lru, err := cpu.WeightedSpeedup(context.Background(), mix, "lru", perCore, 42)
 		check(err)
 		fmt.Printf("%-44s", label)
 		for _, pol := range policies {
-			ws, err := cpu.WeightedSpeedup(mix, pol, perCore, 42)
+			ws, err := cpu.WeightedSpeedup(context.Background(), mix, pol, perCore, 42)
 			check(err)
 			imp := 100 * (ws - lru) / lru
 			improvements[pol] = append(improvements[pol], imp)

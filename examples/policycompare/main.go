@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -33,7 +34,7 @@ func main() {
 		}
 		fmt.Printf("%-10s", name)
 		for _, pol := range policies {
-			mr, err := cpu.SingleCoreMissRate(spec, pol, accesses, 42)
+			mr, err := cpu.SingleCoreMissRate(context.Background(), spec, pol, accesses, 42)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -53,7 +54,7 @@ func main() {
 		spec, _ := workload.Lookup(name)
 		fmt.Printf("%-10s", name)
 		for _, pol := range policies {
-			res, err := cpu.SingleCore(spec, pol, accesses, 42)
+			res, err := cpu.SingleCore(context.Background(), spec, pol, accesses, 42)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

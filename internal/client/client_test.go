@@ -1,0 +1,234 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"glider/internal/client"
+	"glider/internal/experiments"
+	"glider/internal/server"
+)
+
+// cannedExecutor answers instantly with a deterministic payload per kind,
+// so client behaviour is tested without paying for real simulations.
+func cannedExecutor(ctx context.Context, spec server.JobSpec) (json.RawMessage, error) {
+	switch spec.Kind {
+	case server.KindPredict:
+		return json.Marshal(experiments.PredictResult{
+			Workload: spec.Workload, Policy: spec.Policy,
+			Accesses: spec.Accesses, Seed: spec.Seed,
+			Verdicts: []experiments.PCVerdict{{PC: 0x40, Accesses: 9, Friendly: true}},
+			ISVMRows: []experiments.ISVMRow{{Index: 1, L1: 3, Weights: []int8{1, -2}}},
+		})
+	default:
+		return json.Marshal(experiments.CellResult{
+			Workload: spec.Workload, Policy: spec.Policy,
+			Accesses: spec.Accesses, Seed: spec.Seed,
+			IPC: 1.5, LLCMissRate: 0.25,
+		})
+	}
+}
+
+func newClient(t *testing.T, cfg server.Config) (*client.Client, *server.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain at teardown: %v", err)
+		}
+	})
+	return client.New(ts.URL+"/", nil), s // trailing slash must be tolerated
+}
+
+func TestClientSimPredictAndCache(t *testing.T) {
+	c, _ := newClient(t, server.Config{Executor: cannedExecutor})
+	ctx := context.Background()
+
+	spec := server.JobSpec{Workload: "omnetpp", Policy: "glider", Accesses: 60000, Seed: 42}
+	sim, err := c.Sim(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Hash == "" || sim.Cached {
+		t.Fatalf("first sim: hash=%q cached=%v", sim.Hash, sim.Cached)
+	}
+	if sim.Result.Policy != "glider" || sim.Result.IPC != 1.5 {
+		t.Fatalf("decoded result %+v", sim.Result)
+	}
+	again, err := c.Sim(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Hash != sim.Hash || !bytes.Equal(again.Raw, sim.Raw) {
+		t.Fatalf("repeat sim not a byte-identical cache hit: cached=%v", again.Cached)
+	}
+
+	pred, err := c.Predict(ctx, server.JobSpec{Workload: "mcf", Policy: "glider", Accesses: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Result.Verdicts) != 1 || !pred.Result.Verdicts[0].Friendly {
+		t.Fatalf("predict result %+v", pred.Result)
+	}
+	if len(pred.Result.ISVMRows) != 1 || pred.Result.ISVMRows[0].Weights[1] != -2 {
+		t.Fatalf("ISVM rows %+v", pred.Result.ISVMRows)
+	}
+}
+
+func TestClientBatchOrderAndStop(t *testing.T) {
+	c, _ := newClient(t, server.Config{Executor: cannedExecutor})
+	jobs := []server.JobSpec{
+		{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1},
+		{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 2},
+		{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 3},
+	}
+	var seeds []int64
+	err := c.Batch(context.Background(), jobs, func(i int, env server.Envelope) error {
+		if env.Error != "" {
+			return fmt.Errorf("row %d: %s", i, env.Error)
+		}
+		var res experiments.CellResult
+		if err := json.Unmarshal(env.Result, &res); err != nil {
+			return err
+		}
+		seeds = append(seeds, res.Seed)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		if s != int64(i+1) {
+			t.Fatalf("rows out of order: %v", seeds)
+		}
+	}
+
+	// A callback error stops the stream and propagates.
+	stop := fmt.Errorf("stop here")
+	err = c.Batch(context.Background(), jobs, func(i int, env server.Envelope) error {
+		if i == 1 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+func TestClientCatalogHealthMetrics(t *testing.T) {
+	c, s := newClient(t, server.Config{Executor: cannedExecutor})
+	ctx := context.Background()
+
+	cat, err := c.Catalog(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Workloads) == 0 || len(cat.Policies) == 0 || len(cat.Predictors) == 0 {
+		t.Fatalf("catalog %+v", cat)
+	}
+
+	state, err := c.Health(ctx)
+	if err != nil || state != "ok" {
+		t.Fatalf("health = %q, %v", state, err)
+	}
+
+	if _, err := c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cs := range snap.Counters {
+		if cs.Name == "server.http.sim" && cs.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("metrics snapshot missing server.http.sim")
+	}
+
+	// Drain: health turns "draining" with a 503-carrying APIError.
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	state, err = c.Health(ctx)
+	if state != "draining" {
+		t.Fatalf("health after drain = %q", state)
+	}
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != 503 || !ae.Temporary() {
+		t.Fatalf("health error after drain = %v", err)
+	}
+}
+
+func TestClientAPIErrors(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	blocking := func(ctx context.Context, spec server.JobSpec) (json.RawMessage, error) {
+		select {
+		case started <- spec.Hash():
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		select {
+		case <-release:
+			return json.RawMessage(`{}`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c, _ := newClient(t, server.Config{QueueDepth: 1, BatchMax: 1, Workers: 1, Executor: blocking})
+	ctx := context.Background()
+
+	// Validation rejections: permanent 422.
+	_, err := c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "nope", Accesses: 1000})
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != 422 || ae.Temporary() {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+
+	// Backpressure: fill the pipeline, expect 429 with a Retry-After hint.
+	go c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1}) //nolint:errcheck
+	<-started
+	go c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 2}) //nolint:errcheck
+	// Each probe carries a short timeout and a fresh seed: if a probe races
+	// job B into the queue slot it 504s quickly, and the next probe (a new
+	// job, so it can't join the dead flight) finds the queue full → 429.
+	deadline := time.Now().Add(10 * time.Second)
+	for seed := int64(100); ; seed++ {
+		_, err = c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: seed, TimeoutMS: 250})
+		if asAPIError(err, &ae) && ae.StatusCode == 429 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 429; last err = %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !ae.Temporary() || ae.RetryAfter <= 0 {
+		t.Fatalf("429 error lacks retry semantics: %+v", ae)
+	}
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	if e, ok := err.(*client.APIError); ok {
+		*target = e
+		return true
+	}
+	return false
+}

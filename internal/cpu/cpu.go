@@ -7,12 +7,20 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"glider/internal/cache"
 	"glider/internal/dram"
 	"glider/internal/trace"
 )
+
+// cancelCheckMask gates the simulation loops' context polls: ctx.Err() is
+// checked every cancelCheckMask+1 accesses, so cancellation latency is a few
+// thousand accesses (microseconds) while the hot path pays one mask-and-test
+// per access. The checks never alter the computation, so a run that is not
+// cancelled is bit-identical to one executed without a deadline.
+const cancelCheckMask = 8191
 
 // CoreConfig parameterizes the core model (§5.1: 4-wide OOO, 8-stage,
 // 128-entry ROB).
@@ -74,8 +82,10 @@ func newCoreState(cfg CoreConfig) *coreState {
 // Run executes the trace against the hierarchy with full timing. The first
 // warmup accesses train caches and predictors without counting toward the
 // reported statistics. The hierarchy must have at least as many cores as
-// the trace references.
-func Run(t *trace.Trace, h *cache.Hierarchy, d *dram.DRAM, cfg CoreConfig, warmup int) (Result, error) {
+// the trace references. Cancelling ctx aborts the run within a few thousand
+// accesses, returning the context's error; an uncancelled run is
+// bit-identical for any ctx.
+func Run(ctx context.Context, t *trace.Trace, h *cache.Hierarchy, d *dram.DRAM, cfg CoreConfig, warmup int) (Result, error) {
 	if warmup < 0 || warmup > t.Len() {
 		return Result{}, fmt.Errorf("cpu: warmup %d out of range for trace of %d accesses", warmup, t.Len())
 	}
@@ -90,6 +100,11 @@ func Run(t *trace.Trace, h *cache.Hierarchy, d *dram.DRAM, cfg CoreConfig, warmu
 	var measureAccesses []float64
 
 	for i, a := range t.Accesses {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if !measuring && i >= warmup {
 			measuring = true
 			h.ResetStats()
@@ -198,8 +213,9 @@ type FriendlyPredictor interface {
 }
 
 // RunFunctional executes the trace without timing, optionally collecting
-// the LLC access stream and per-access predictions.
-func RunFunctional(t *trace.Trace, h *cache.Hierarchy, warmup int, collect bool) (FunctionalResult, error) {
+// the LLC access stream and per-access predictions. Cancelling ctx aborts
+// the run within a few thousand accesses (see Run).
+func RunFunctional(ctx context.Context, t *trace.Trace, h *cache.Hierarchy, warmup int, collect bool) (FunctionalResult, error) {
 	if warmup < 0 || warmup > t.Len() {
 		return FunctionalResult{}, fmt.Errorf("cpu: warmup %d out of range for trace of %d accesses", warmup, t.Len())
 	}
@@ -213,6 +229,11 @@ func RunFunctional(t *trace.Trace, h *cache.Hierarchy, warmup int, collect bool)
 		out.LLCStream = trace.New(t.Name+".llc", 0)
 	}
 	for i, a := range t.Accesses {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return FunctionalResult{}, err
+			}
+		}
 		if i == warmup {
 			h.ResetStats()
 		}

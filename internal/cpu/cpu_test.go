@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"glider/internal/cache"
@@ -51,7 +52,7 @@ func TestRunCacheFriendlyFasterThanStreaming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
+		res, err := Run(context.Background(), tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,17 +73,17 @@ func TestRunCacheFriendlyFasterThanStreaming(t *testing.T) {
 
 func TestRunWarmupValidation(t *testing.T) {
 	h, _ := BuildHierarchy(1, "lru")
-	if _, err := Run(hotTrace(10), h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 11); err == nil {
+	if _, err := Run(context.Background(), hotTrace(10), h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 11); err == nil {
 		t.Fatal("warmup beyond trace length accepted")
 	}
-	if _, err := RunFunctional(hotTrace(10), h, -1, false); err == nil {
+	if _, err := RunFunctional(context.Background(), hotTrace(10), h, -1, false); err == nil {
 		t.Fatal("negative warmup accepted")
 	}
 }
 
 func TestRunFunctionalCollectsLLCStream(t *testing.T) {
 	h, _ := BuildHierarchy(1, "hawkeye")
-	res, err := RunFunctional(coldTrace(5000), h, 0, true)
+	res, err := RunFunctional(context.Background(), coldTrace(5000), h, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestRunFunctionalCollectsLLCStream(t *testing.T) {
 
 func TestRunFunctionalWarmupExcluded(t *testing.T) {
 	h, _ := BuildHierarchy(1, "lru")
-	res, err := RunFunctional(coldTrace(1000), h, 500, true)
+	res, err := RunFunctional(context.Background(), coldTrace(1000), h, 500, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunFunctionalWarmupExcluded(t *testing.T) {
 
 func TestIPCBounded(t *testing.T) {
 	h, _ := BuildHierarchy(1, "lru")
-	res, err := Run(hotTrace(10000), h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
+	res, err := Run(context.Background(), hotTrace(10000), h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,14 +125,14 @@ func TestSingleCoreHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SingleCore(spec, "lru", 20000, 1)
+	res, err := SingleCore(context.Background(), spec, "lru", 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.IPC <= 0 {
 		t.Fatal("no IPC")
 	}
-	mr, err := SingleCoreMissRate(spec, "lru", 20000, 1)
+	mr, err := SingleCoreMissRate(context.Background(), spec, "lru", 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestSingleCoreHarness(t *testing.T) {
 
 func TestMultiCoreRun(t *testing.T) {
 	mix := workload.Mixes(1, 2, 5)[0]
-	res, err := MultiCore(mix, "lru", 10000, 1)
+	res, err := MultiCore(context.Background(), mix, "lru", 10000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestWeightedSpeedupNearCoreCountWhenIsolated(t *testing.T) {
 	mix := workload.Mix{ID: 0, Members: []workload.Spec{
 		mustSpec(t, "libquantum"), mustSpec(t, "lbm"),
 	}}
-	ws, err := WeightedSpeedup(mix, "lru", 20000, 1)
+	ws, err := WeightedSpeedup(context.Background(), mix, "lru", 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestMSHRLimitSlowsBursts(t *testing.T) {
 		h, _ := BuildHierarchy(1, "lru")
 		cfg := DefaultCoreConfig()
 		cfg.MSHRs = mshrs
-		res, err := Run(tr, h, dram.New(dram.SingleCoreConfig()), cfg, 0)
+		res, err := Run(context.Background(), tr, h, dram.New(dram.SingleCoreConfig()), cfg, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +205,7 @@ func TestROBLimitsMLP(t *testing.T) {
 		h, _ := BuildHierarchy(1, "lru")
 		cfg := DefaultCoreConfig()
 		cfg.ROBSize = rob
-		res, err := Run(tr, h, dram.New(dram.SingleCoreConfig()), cfg, 0)
+		res, err := Run(context.Background(), tr, h, dram.New(dram.SingleCoreConfig()), cfg, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func TestHierarchyLatencyOrdering(t *testing.T) {
 	}
 	run := func(tr *trace.Trace) float64 {
 		h, _ := BuildHierarchy(1, "lru")
-		res, err := Run(tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
+		res, err := Run(context.Background(), tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,7 +246,7 @@ var _ = cache.LLCConfig // keep import if unused in future edits
 
 func TestSoloOnSharedUsesSharedGeometry(t *testing.T) {
 	spec := mustSpec(t, "libquantum")
-	res, err := SoloOnShared(spec, 4, "lru", 20000, 1)
+	res, err := SoloOnShared(context.Background(), spec, 4, "lru", 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestSoloOnSharedUsesSharedGeometry(t *testing.T) {
 	}
 	// The shared LLC is 4× the private one: a workload that thrashes the
 	// private LLC but fits the shared one must do at least as well there.
-	private, err := SingleCore(spec, "lru", 20000, 1)
+	private, err := SingleCore(context.Background(), spec, "lru", 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"testing"
 
 	"glider/internal/dram"
@@ -14,11 +15,11 @@ func TestDeterministicMissRates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := SingleCoreMissRate(spec, "glider", 60000, 7)
+	a, err := SingleCoreMissRate(context.Background(), spec, "glider", 60000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SingleCoreMissRate(spec, "glider", 60000, 7)
+	b, err := SingleCoreMissRate(context.Background(), spec, "glider", 60000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestStoreTrafficGeneratesDRAMWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
+	res, err := Run(context.Background(), tr, h, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,15 +62,15 @@ func TestHeadlineResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 400_000
-	lru, err := SingleCoreMissRate(spec, "lru", n, 42)
+	lru, err := SingleCoreMissRate(context.Background(), spec, "lru", n, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hawkeye, err := SingleCoreMissRate(spec, "hawkeye", n, 42)
+	hawkeye, err := SingleCoreMissRate(context.Background(), spec, "hawkeye", n, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	glider, err := SingleCoreMissRate(spec, "glider", n, 42)
+	glider, err := SingleCoreMissRate(context.Background(), spec, "glider", n, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMultiCorePerCorePCHR(t *testing.T) {
 	// the contexts separate (a shared PCHR would interleave PCs from both
 	// cores into one history).
 	mix := workload.Mixes(1, 2, 11)[0]
-	res, err := MultiCore(mix, "glider", 30000, 3)
+	res, err := MultiCore(context.Background(), mix, "glider", 30000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestWritebackKindDoesNotPolluteLLCPredictions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := RunFunctional(tr, h, 0, true); err != nil {
+		if _, err := RunFunctional(context.Background(), tr, h, 0, true); err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}
 	}

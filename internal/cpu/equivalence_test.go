@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -56,11 +57,11 @@ func TestFastUpperEquivalenceAllWorkloads(t *testing.T) {
 			}
 			ref := refHierarchy(t, 1, "lru")
 
-			got, err := RunFunctional(tr, fast, accesses/5, true)
+			got, err := RunFunctional(context.Background(), tr, fast, accesses/5, true)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := RunFunctional(tr, ref, accesses/5, true)
+			want, err := RunFunctional(context.Background(), tr, ref, accesses/5, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,11 +108,11 @@ func TestFastUpperEquivalenceTiming(t *testing.T) {
 				}
 				ref := refHierarchy(t, 1, pol)
 
-				got, err := Run(tr, fast, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), accesses/5)
+				got, err := Run(context.Background(), tr, fast, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), accesses/5)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, err := Run(tr, ref, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), accesses/5)
+				want, err := Run(context.Background(), tr, ref, dram.New(dram.SingleCoreConfig()), DefaultCoreConfig(), accesses/5)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -131,7 +132,7 @@ func TestFastUpperEquivalenceMultiCore(t *testing.T) {
 		mix := mix
 		t.Run(fmt.Sprintf("mix%d", mix.ID), func(t *testing.T) {
 			t.Parallel()
-			got, err := MultiCore(mix, "hawkeye", 8_000, 42)
+			got, err := MultiCore(context.Background(), mix, "hawkeye", 8_000, 42)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,7 +144,7 @@ func TestFastUpperEquivalenceMultiCore(t *testing.T) {
 			}
 			merged := trace.Interleave(fmt.Sprintf("mix%d", mix.ID), perCore...)
 			ref := refHierarchy(t, len(mix.Members), "hawkeye")
-			want, err := Run(merged, ref, dram.New(dram.QuadCoreConfig()), DefaultCoreConfig(), merged.Len()/5)
+			want, err := Run(context.Background(), merged, ref, dram.New(dram.QuadCoreConfig()), DefaultCoreConfig(), merged.Len()/5)
 			if err != nil {
 				t.Fatal(err)
 			}

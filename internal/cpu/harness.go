@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"glider/internal/cache"
@@ -72,25 +73,26 @@ func FlushHierarchyObs(h *cache.Hierarchy) {
 
 // SingleCore runs one benchmark with one policy and full timing, warming up
 // on the first fifth of the trace (mirroring the paper's 200M-of-1B warmup).
-func SingleCore(spec workload.Spec, policyName string, accesses int, seed int64) (Result, error) {
+// Cancelling ctx aborts the simulation promptly (see Run).
+func SingleCore(ctx context.Context, spec workload.Spec, policyName string, accesses int, seed int64) (Result, error) {
 	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return Result{}, err
 	}
 	d := dram.New(dram.SingleCoreConfig())
-	return Run(t, h, d, DefaultCoreConfig(), accesses/5)
+	return Run(ctx, t, h, d, DefaultCoreConfig(), accesses/5)
 }
 
 // SingleCoreMissRate runs one benchmark functionally and returns the LLC
 // miss rate (Figure 11's underlying metric).
-func SingleCoreMissRate(spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
+func SingleCoreMissRate(ctx context.Context, spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
 	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return 0, err
 	}
-	res, err := RunFunctional(t, h, accesses/5, false)
+	res, err := RunFunctional(ctx, t, h, accesses/5, false)
 	if err != nil {
 		return 0, err
 	}
@@ -99,7 +101,7 @@ func SingleCoreMissRate(spec workload.Spec, policyName string, accesses int, see
 
 // MultiCore runs a workload mix on a shared LLC with full timing and
 // returns the per-core IPCs.
-func MultiCore(mix workload.Mix, policyName string, accessesPerCore int, seed int64) (Result, error) {
+func MultiCore(ctx context.Context, mix workload.Mix, policyName string, accessesPerCore int, seed int64) (Result, error) {
 	cores := len(mix.Members)
 	perCore := make([]*trace.Trace, cores)
 	for i, spec := range mix.Members {
@@ -111,33 +113,33 @@ func MultiCore(mix workload.Mix, policyName string, accessesPerCore int, seed in
 		return Result{}, err
 	}
 	d := dram.New(dram.QuadCoreConfig())
-	return Run(merged, h, d, DefaultCoreConfig(), merged.Len()/5)
+	return Run(ctx, merged, h, d, DefaultCoreConfig(), merged.Len()/5)
 }
 
 // SoloOnShared runs one benchmark alone on the multi-core configuration
 // (shared LLC geometry and 12.8 GB/s DRAM): the IPCsingle baseline of §5.1,
 // which is defined as "executing in isolation on the same cache".
-func SoloOnShared(spec workload.Spec, cores int, policyName string, accesses int, seed int64) (Result, error) {
+func SoloOnShared(ctx context.Context, spec workload.Spec, cores int, policyName string, accesses int, seed int64) (Result, error) {
 	t := workload.Shared(spec, accesses, seed)
 	h, err := BuildHierarchy(cores, policyName)
 	if err != nil {
 		return Result{}, err
 	}
 	d := dram.New(dram.QuadCoreConfig())
-	return Run(t, h, d, DefaultCoreConfig(), accesses/5)
+	return Run(ctx, t, h, d, DefaultCoreConfig(), accesses/5)
 }
 
 // WeightedSpeedup computes the §5.1 weighted-IPC metric for a mix under one
 // policy: Σ_i IPCshared_i / IPCsingle_i, where IPCsingle_i is benchmark i
 // running alone on the same shared cache with the same policy.
-func WeightedSpeedup(mix workload.Mix, policyName string, accessesPerCore int, seed int64) (float64, error) {
-	shared, err := MultiCore(mix, policyName, accessesPerCore, seed)
+func WeightedSpeedup(ctx context.Context, mix workload.Mix, policyName string, accessesPerCore int, seed int64) (float64, error) {
+	shared, err := MultiCore(ctx, mix, policyName, accessesPerCore, seed)
 	if err != nil {
 		return 0, err
 	}
 	sum := 0.0
 	for i, spec := range mix.Members {
-		solo, err := SoloOnShared(spec, len(mix.Members), policyName, accessesPerCore, seed+int64(i))
+		solo, err := SoloOnShared(ctx, spec, len(mix.Members), policyName, accessesPerCore, seed+int64(i))
 		if err != nil {
 			return 0, err
 		}

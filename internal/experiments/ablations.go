@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,7 +50,7 @@ func RunAblationOptgenVsBelady(cfg Config) (Ablation, error) {
 	if err != nil {
 		return Ablation{}, err
 	}
-	res, err := cpu.RunFunctional(t, h, 0, true)
+	res, err := cpu.RunFunctional(context.Background(), t, h, 0, true)
 	if err != nil {
 		return Ablation{}, err
 	}
@@ -127,7 +128,7 @@ func gliderMissRate(spec workload.Spec, cfg Config, gcfg gl.Config) (float64, er
 	if err != nil {
 		return 0, err
 	}
-	res, err := cpu.RunFunctional(t, h, cfg.Accesses/5, false)
+	res, err := cpu.RunFunctional(context.Background(), t, h, cfg.Accesses/5, false)
 	if err != nil {
 		return 0, err
 	}

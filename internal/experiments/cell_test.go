@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunCell(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+
+	res, err := RunCell(ctx, "omnetpp", "lru", 30000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "omnetpp" || res.Policy != "lru" || res.Accesses != 30000 || res.Seed != 42 {
+		t.Fatalf("identity fields not echoed: %+v", res)
+	}
+	if res.IPC <= 0 || res.Cycles <= 0 || res.Instructions <= 0 {
+		t.Fatalf("implausible timing result: %+v", res)
+	}
+	if res.LLCAccesses == 0 || res.LLCHits+res.LLCMisses != res.LLCAccesses {
+		t.Fatalf("LLC counters inconsistent: %+v", res)
+	}
+	if res.LLCMissRate < 0 || res.LLCMissRate > 1 {
+		t.Fatalf("miss rate out of range: %v", res.LLCMissRate)
+	}
+
+	// Same cell again: deterministic.
+	again, err := RunCell(ctx, "omnetpp", "lru", 30000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Fatalf("RunCell not deterministic:\n first: %+v\n again: %+v", res, again)
+	}
+
+	if _, err := RunCell(ctx, "no-such-workload", "lru", 1000, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunCell(ctx, "omnetpp", "no-such-policy", 1000, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RunCell(cancelled, "omnetpp", "lru", 200000, 42); err == nil {
+		t.Fatal("cancelled context did not abort the simulation")
+	}
+}
+
+func TestRunPredictCell(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+
+	for _, pol := range []string{"hawkeye", "glider"} {
+		res, err := RunPredictCell(ctx, "omnetpp", pol, 60000, 42, 8, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(res.Verdicts) == 0 || len(res.Verdicts) > 8 {
+			t.Fatalf("%s: %d verdicts", pol, len(res.Verdicts))
+		}
+		for i := 1; i < len(res.Verdicts); i++ {
+			a, b := res.Verdicts[i-1], res.Verdicts[i]
+			if a.Accesses < b.Accesses || (a.Accesses == b.Accesses && a.PC >= b.PC) {
+				t.Fatalf("%s: verdicts out of order at %d: %+v then %+v", pol, i, a, b)
+			}
+		}
+		switch pol {
+		case "glider":
+			if len(res.ISVMRows) == 0 || len(res.ISVMRows) > 4 {
+				t.Fatalf("glider: %d ISVM rows", len(res.ISVMRows))
+			}
+		default:
+			if len(res.ISVMRows) != 0 {
+				t.Fatalf("%s: unexpected ISVM rows %+v", pol, res.ISVMRows)
+			}
+		}
+	}
+
+	// lru has no queryable predictor.
+	if _, err := RunPredictCell(ctx, "omnetpp", "lru", 1000, 1, 8, 4); err == nil {
+		t.Fatal("non-predictor policy accepted")
+	}
+	if _, err := RunPredictCell(ctx, "no-such-workload", "glider", 1000, 1, 8, 4); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunPredictCell(ctx, "omnetpp", "no-such-policy", 1000, 1, 8, 4); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RunPredictCell(cancelled, "omnetpp", "glider", 200000, 42, 8, 4); err == nil {
+		t.Fatal("cancelled context did not abort the functional run")
+	}
+}

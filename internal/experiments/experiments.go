@@ -503,13 +503,13 @@ type Fig10 struct {
 
 // onlineAccuracy runs a benchmark with the policy and compares the
 // policy-exposed predictions against exact MIN labels of the LLC stream.
-func onlineAccuracy(spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
+func onlineAccuracy(ctx context.Context, spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
 	t := workload.Shared(spec, accesses, seed)
 	h, err := cpu.BuildHierarchy(1, policyName)
 	if err != nil {
 		return 0, err
 	}
-	res, err := cpu.RunFunctional(t, h, accesses/5, true)
+	res, err := cpu.RunFunctional(ctx, t, h, accesses/5, true)
 	if err != nil {
 		return 0, err
 	}
@@ -540,7 +540,7 @@ func RunFig10(cfg Config) (Fig10, error) {
 			jobs = append(jobs, simrunner.Job[float64]{
 				Key: simrunner.Key("fig10", spec.Name, pol),
 				Run: func(ctx context.Context) (float64, error) {
-					return onlineAccuracy(spec, pol, cfg.Accesses, cfg.Seed)
+					return onlineAccuracy(ctx, spec, pol, cfg.Accesses, cfg.Seed)
 				},
 			})
 		}
@@ -652,7 +652,7 @@ func RunFig11(cfg Config) (Fig11, error) {
 				jobs = append(jobs, simrunner.Job[simPoint]{
 					Key: simrunner.Key("fig11", spec.Name, pol, "seed="+strconv.Itoa(s)),
 					Run: func(ctx context.Context) (simPoint, error) {
-						res, err := cpu.SingleCore(spec, pol, cfg.Accesses, seed)
+						res, err := cpu.SingleCore(ctx, spec, pol, cfg.Accesses, seed)
 						if err != nil {
 							return simPoint{}, err
 						}
@@ -800,7 +800,7 @@ func RunFig13(cfg Config) (Fig13, error) {
 				soloJobs = append(soloJobs, simrunner.Job[float64]{
 					Key: simrunner.Key("fig13", "solo", spec.Name, pol),
 					Run: func(ctx context.Context) (float64, error) {
-						res, err := cpu.SoloOnShared(spec, 4, pol, cfg.MixAccessesPerCore, cfg.Seed)
+						res, err := cpu.SoloOnShared(ctx, spec, 4, pol, cfg.MixAccessesPerCore, cfg.Seed)
 						if err != nil {
 							return 0, err
 						}
@@ -822,7 +822,7 @@ func RunFig13(cfg Config) (Fig13, error) {
 			jobs = append(jobs, simrunner.Job[float64]{
 				Key: simrunner.Key("fig13", "mix"+strconv.Itoa(mix.ID), pol),
 				Run: func(ctx context.Context) (float64, error) {
-					shared, err := cpu.MultiCore(mix, pol, cfg.MixAccessesPerCore, cfg.Seed)
+					shared, err := cpu.MultiCore(ctx, mix, pol, cfg.MixAccessesPerCore, cfg.Seed)
 					if err != nil {
 						return 0, err
 					}

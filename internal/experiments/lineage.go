@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -48,7 +49,7 @@ func RunLineage(cfg Config) (Lineage, error) {
 		row := LineageRow{Name: name, MissRates: map[string]float64{}}
 		var lru float64
 		for _, pol := range LineagePolicies {
-			mr, err := cpu.SingleCoreMissRate(spec, pol, cfg.Accesses, cfg.Seed)
+			mr, err := cpu.SingleCoreMissRate(context.Background(), spec, pol, cfg.Accesses, cfg.Seed)
 			if err != nil {
 				return out, err
 			}

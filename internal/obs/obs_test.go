@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -94,6 +96,20 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if !math.IsInf(snap.Hists[0].Buckets[3].UpperBound, 1) {
 		t.Fatal("last bucket must be +Inf")
+	}
+
+	// Snapshots must survive a JSON round trip even though the overflow
+	// bucket's bound is infinite (encoded as the string "+Inf").
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot changed across JSON round trip:\n before: %+v\n after:  %+v", snap, back)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -18,6 +19,44 @@ type CounterSnap struct {
 type BucketSnap struct {
 	UpperBound float64 `json:"le"`
 	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON encodes the overflow bucket's infinite bound as the string
+// "+Inf" (encoding/json rejects non-finite floats); finite bounds stay
+// numeric. UnmarshalJSON accepts both forms, so snapshots round-trip.
+func (b BucketSnap) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.UpperBound, 1) {
+		return []byte(fmt.Sprintf(`{"le":"+Inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.UpperBound, b.Count)), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketSnap) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    json.RawMessage `json:"le"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if len(raw.Le) > 0 && raw.Le[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw.Le, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			b.UpperBound = math.Inf(1)
+		case "-Inf":
+			b.UpperBound = math.Inf(-1)
+		default:
+			return fmt.Errorf("obs: bucket bound %q is not a number or Inf", s)
+		}
+		return nil
+	}
+	return json.Unmarshal(raw.Le, &b.UpperBound)
 }
 
 // HistSnap is one histogram's state.

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sort"
+
 	"glider/internal/cache"
 	gl "glider/internal/glider"
 	"glider/internal/obs"
@@ -181,16 +183,33 @@ func (p *Glider) Update(set, way int, pc, block uint64, core uint8, hit bool, ki
 	if p.accesses%sweepPeriod == 0 {
 		// Detrain entries whose blocks were never re-accessed within the
 		// window (never-reused lines are cache-averse). Swept on a global
-		// cadence; see sweepPeriod.
+		// cadence; see sweepPeriod. ISVM training is order-sensitive (the
+		// adaptive threshold and sum-dependent skips make Train calls
+		// non-commutative), so the sweep iterates samplers and expired
+		// blocks in sorted order — map-range order here would make whole
+		// simulations nondeterministic.
 		window := uint64(optgenWindowFactor * p.ways)
-		for _, s := range p.samplers {
+		sets := make([]int, 0, len(p.samplers))
+		for set := range p.samplers {
+			sets = append(sets, set)
+		}
+		sort.Ints(sets)
+		var expired []uint64
+		for _, set := range sets {
+			s := p.samplers[set]
 			now := s.optgen.Clock()
+			expired = expired[:0]
 			for b, e := range s.last {
 				if now-e.time > window {
-					p.predictor.Train(e.pc, e.history, false)
-					p.obsTrainNeg.Inc()
-					delete(s.last, b)
+					expired = append(expired, b)
 				}
+			}
+			sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+			for _, b := range expired {
+				e := s.last[b]
+				p.predictor.Train(e.pc, e.history, false)
+				p.obsTrainNeg.Inc()
+				delete(s.last, b)
 			}
 		}
 	}

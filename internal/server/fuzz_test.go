@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+var hashRe = regexp.MustCompile(`^j[0-9a-f]{16}$`)
+
+// decodeStrict mirrors the server's request decoding (strict field set).
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// FuzzJobSpecDecode drives arbitrary bytes through the request decoder,
+// validator, and hasher: none may panic, every valid spec must hash into
+// the canonical format, survive a marshal/decode round trip with an
+// unchanged hash, and ignore timeout_ms in its identity.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"workload":"omnetpp","policy":"lru","accesses":60000,"seed":42}`))
+	f.Add([]byte(`{"kind":"predict","workload":"mcf","policy":"glider","accesses":1000,"seed":-7,"top_pcs":16,"isvm_rows":4}`))
+	f.Add([]byte(`{"seed":42,"accesses":60000,"policy":"hawkeye","workload":"omnetpp","kind":"sim"}`))
+	f.Add([]byte(`{"workload":"omnetpp","policy":"lru","accesses":1000,"timeout_ms":2500}`))
+	f.Add([]byte(`{"workload":"omnetpp","policy":"lru","accesses":0}`))
+	f.Add([]byte(`{"workload":"","policy":"","accesses":-1,"seed":9223372036854775807}`))
+	f.Add([]byte(`{"bogus":true}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := decodeStrict(data, &spec); err != nil {
+			return
+		}
+		if spec.Kind == "" {
+			spec.Kind = KindSim
+		}
+		if err := spec.Validate(DefaultLimits()); err != nil {
+			return
+		}
+		h := spec.Hash()
+		if !hashRe.MatchString(h) {
+			t.Fatalf("hash %q does not match the canonical format", h)
+		}
+		// Round trip: re-marshal, re-decode, re-validate — identity stable.
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal of validated spec: %v", err)
+		}
+		var rt JobSpec
+		if err := decodeStrict(out, &rt); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if rt.Kind == "" {
+			rt.Kind = KindSim
+		}
+		if err := rt.Validate(DefaultLimits()); err != nil {
+			t.Fatalf("round-trip validate: %v", err)
+		}
+		if rt.Hash() != h {
+			t.Fatalf("round-trip hash %q != %q", rt.Hash(), h)
+		}
+		// The deadline must not be part of the identity.
+		withTimeout := spec
+		withTimeout.TimeoutMS = spec.TimeoutMS + 1234
+		if withTimeout.Hash() != h {
+			t.Fatalf("timeout_ms changed the job hash: %q != %q", withTimeout.Hash(), h)
+		}
+	})
+}
+
+// FuzzJobHash checks field-order invariance of the canonical hash: a spec
+// re-encoded through a generic JSON object (which reorders keys) must
+// decode to the same spec and the same hash. Panics anywhere are failures.
+func FuzzJobHash(f *testing.F) {
+	f.Add([]byte(`{"workload":"omnetpp","policy":"lru","accesses":60000,"seed":42}`))
+	f.Add([]byte(`{"seed":42,"accesses":60000,"policy":"lru","workload":"omnetpp"}`))
+	f.Add([]byte(`{"isvm_rows":4,"top_pcs":16,"kind":"predict","workload":"mcf","policy":"glider","accesses":1000,"seed":3}`))
+	f.Add([]byte(`{"workload":"bfs","policy":"ship++","accesses":12345,"seed":-1,"timeout_ms":10}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if json.Unmarshal(data, &spec) != nil {
+			return
+		}
+		var m map[string]any
+		if json.Unmarshal(data, &m) != nil {
+			return
+		}
+		reordered, err := json.Marshal(m) // map marshaling sorts keys
+		if err != nil {
+			return
+		}
+		var spec2 JobSpec
+		if err := json.Unmarshal(reordered, &spec2); err != nil {
+			t.Fatalf("re-decoding reordered JSON: %v", err)
+		}
+		// Numbers that don't survive the float64 detour (huge int64 seeds)
+		// legitimately change the spec; identity claims apply only when the
+		// decoded specs agree.
+		if spec != spec2 {
+			return
+		}
+		if spec.Hash() != spec2.Hash() {
+			t.Fatalf("field order changed the hash: %q != %q", spec.Hash(), spec2.Hash())
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHashDistinctAcrossIdentityFields sweeps a grid of specs differing in
+// each identity field and demands pairwise-distinct hashes — the property
+// that makes the result cache and singleflight table safe to key by hash.
+func TestHashDistinctAcrossIdentityFields(t *testing.T) {
+	seen := make(map[string]JobSpec)
+	check := func(spec JobSpec) {
+		t.Helper()
+		h := spec.Hash()
+		if prev, ok := seen[h]; ok && prev != spec {
+			t.Fatalf("hash collision: %+v and %+v both hash to %s", prev, spec, h)
+		}
+		seen[h] = spec
+	}
+	for _, kind := range []string{KindSim, KindPredict} {
+		for _, wl := range []string{"omnetpp", "mcf", "bfs"} {
+			for _, pol := range []string{"lru", "glider", "hawkeye", "ship++"} {
+				for _, acc := range []int{1000, 60000, 1000000} {
+					for seed := int64(-2); seed <= 2; seed++ {
+						check(JobSpec{Kind: kind, Workload: wl, Policy: pol, Accesses: acc, Seed: seed})
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != 2*3*4*3*5 {
+		t.Fatalf("expected %d distinct hashes, got %d", 2*3*4*3*5, len(seen))
+	}
+}
+
+func TestValidateNormalizesDefaults(t *testing.T) {
+	lim := DefaultLimits()
+
+	// Predict defaults fill in and are part of the identity, so an omitted
+	// default and an explicit one coalesce.
+	a := JobSpec{Kind: KindPredict, Workload: "omnetpp", Policy: "glider", Accesses: 1000, Seed: 1}
+	b := JobSpec{Kind: KindPredict, Workload: "omnetpp", Policy: "glider", Accesses: 1000, Seed: 1, TopPCs: 32, ISVMRows: 8}
+	for _, s := range []*JobSpec{&a, &b} {
+		if err := s.Validate(lim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("default and explicit predict sizes hash differently: %s vs %s", a.Hash(), b.Hash())
+	}
+
+	// Sim jobs zero out predict-only fields.
+	c := JobSpec{Kind: KindSim, Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1, TopPCs: 99}
+	d := JobSpec{Kind: KindSim, Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1}
+	for _, s := range []*JobSpec{&c, &d} {
+		if err := s.Validate(lim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Hash() != d.Hash() {
+		t.Fatal("sim job's stray top_pcs leaked into its identity")
+	}
+
+	// Limits are enforced.
+	e := JobSpec{Kind: KindSim, Workload: "omnetpp", Policy: "lru", Accesses: lim.MaxAccesses + 1}
+	if err := e.Validate(lim); err == nil {
+		t.Fatal("over-limit accesses validated")
+	}
+
+	// Zero limits fall back to defaults.
+	var zero Limits
+	got := zero.defaulted()
+	if got.MaxAccesses <= 0 || got.MaxTimeout <= 0 {
+		t.Fatalf("defaulted limits not filled: %+v", got)
+	}
+	if got.MaxTimeout != 5*time.Minute {
+		t.Fatalf("default MaxTimeout = %v", got.MaxTimeout)
+	}
+}
