@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke soak
+.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke gateway-smoke soak
 
 build:
 	$(GO) build ./...
@@ -57,11 +57,18 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^FuzzReadChampSim$$' -fuzz '^FuzzReadChampSim$$' -fuzztime 10s
 	$(GO) test ./internal/server/ -run '^FuzzJobSpecDecode$$' -fuzz '^FuzzJobSpecDecode$$' -fuzztime 10s
 	$(GO) test ./internal/server/ -run '^FuzzJobHash$$' -fuzz '^FuzzJobHash$$' -fuzztime 10s
+	$(GO) test ./internal/gateway/ -run '^FuzzRingChurn$$' -fuzz '^FuzzRingChurn$$' -fuzztime 10s
 
 # server-smoke runs the gliderd service layer and its typed client under the
 # race detector — the fast (-short) subset, mirroring CI's server-smoke job.
 server-smoke:
 	$(GO) test -race -count 1 -short ./internal/server/... ./internal/client/...
+
+# gateway-smoke runs the cluster layer under the race detector: the
+# consistent-hash gateway (routing, chaos, and differential suites against
+# in-process multi-node fleets) plus the open-loop load generator.
+gateway-smoke:
+	$(GO) test -race -count 1 ./internal/gateway/... ./cmd/loadgen/...
 
 # soak drives sustained concurrent load (real simulations, cache churn,
 # mixed sim/predict traffic) through a live server under -race.

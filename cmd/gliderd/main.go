@@ -37,6 +37,7 @@ func main() {
 	defaultTimeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxAccesses := flag.Int("max-accesses", 2_000_000, "max accesses one job may request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on shutdown")
+	shard := flag.String("shard", "", "shard identity reported in responses and /healthz (for fleet deployments)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -46,6 +47,7 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *defaultTimeout,
 		Limits:         server.Limits{MaxAccesses: *maxAccesses},
+		ShardID:        *shard,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,353 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"glider/internal/client"
+	"glider/internal/obs"
+	"glider/internal/server"
+)
+
+// Config describes one load run. The generator is open-loop: arrival times
+// are drawn from a seeded Poisson process (optionally ramping the rate) and
+// each arrival is issued regardless of how many requests are still in
+// flight, so a slow server accumulates queueing instead of silently
+// throttling the offered load — the property that makes tail-latency and
+// saturation claims measurable.
+type Config struct {
+	// Target is the gateway or gliderd base URL.
+	Target string
+	// Duration bounds the arrival schedule.
+	Duration time.Duration
+	// Rate is the arrival rate in jobs/second at t=0.
+	Rate float64
+	// RampTo, when positive, ramps the rate linearly from Rate to RampTo
+	// across Duration (an open-loop ramp profile). 0 keeps Rate constant.
+	RampTo float64
+	// Seed fixes the arrival schedule and job mix.
+	Seed int64
+	// Workloads and Policies are sampled uniformly per job.
+	Workloads []string
+	Policies  []string
+	// Accesses is the per-job trace length.
+	Accesses int
+	// PredictFraction is the share of jobs issued as predict queries
+	// (against PredictPolicies); the rest are sims.
+	PredictFraction float64
+	// PredictPolicies are sampled for predict jobs (default hawkeye+glider).
+	PredictPolicies []string
+	// TimeoutMS is the per-job deadline forwarded in the spec (0 = server
+	// default).
+	TimeoutMS int
+	// SampleEvery is the in-flight/queue-depth timeline sampling period
+	// (default 100ms).
+	SampleEvery time.Duration
+	// Sink receives per-request and timeline events (nil = none).
+	Sink obs.Sink
+	// Obs receives the latency histograms; nil allocates a fresh registry.
+	Obs *obs.Registry
+	// HTTPClient overrides the transport.
+	HTTPClient *http.Client
+}
+
+func (c Config) defaulted() (Config, error) {
+	if c.Target == "" {
+		return c, errors.New("loadgen: target URL is required")
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Rate <= 0 {
+		c.Rate = 10
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"omnetpp"}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"lru", "glider"}
+	}
+	if len(c.PredictPolicies) == 0 {
+		c.PredictPolicies = []string{"hawkeye", "glider"}
+	}
+	if c.Accesses <= 0 {
+		c.Accesses = 20_000
+	}
+	if c.PredictFraction < 0 || c.PredictFraction > 1 {
+		return c, fmt.Errorf("loadgen: predict fraction %v out of [0,1]", c.PredictFraction)
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 100 * time.Millisecond
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c, nil
+}
+
+// Report is the machine-readable SLO report one run produces. Latencies are
+// seconds, estimated from the obs histograms the run records.
+type Report struct {
+	Target      string  `json:"target"`
+	DurationSec float64 `json:"duration_sec"`
+	Offered     int     `json:"offered"`
+	Completed   int     `json:"completed"`
+	Errors      int     `json:"errors"`
+	// OfferedRate is the scheduled arrival rate; Throughput the achieved
+	// completion rate (completed / wall-clock).
+	OfferedRate float64 `json:"offered_rate"`
+	Throughput  float64 `json:"throughput"`
+	LatencyMean float64 `json:"latency_mean_sec"`
+	LatencyP50  float64 `json:"latency_p50_sec"`
+	LatencyP90  float64 `json:"latency_p90_sec"`
+	LatencyP99  float64 `json:"latency_p99_sec"`
+	MaxInFlight int     `json:"max_in_flight"`
+	// StatusCounts tallies outcomes by HTTP status ("ok" for 200s,
+	// "transport" for connection-level failures).
+	StatusCounts map[string]int `json:"status_counts"`
+	// SLO echoes the configured objective and whether the run met it; only
+	// present when a target was set.
+	SLO *SLOResult `json:"slo,omitempty"`
+}
+
+// SLOResult is the pass/fail verdict against a latency/error objective.
+type SLOResult struct {
+	P99TargetSec float64 `json:"p99_target_sec"`
+	MaxErrorRate float64 `json:"max_error_rate"`
+	ErrorRate    float64 `json:"error_rate"`
+	Pass         bool    `json:"pass"`
+}
+
+// arrival is one scheduled request: its offset from run start and its spec.
+type arrival struct {
+	at   time.Duration
+	spec server.JobSpec
+}
+
+// schedule pre-draws the whole arrival plan so rng use is single-threaded
+// and the offered load is reproducible from the seed alone.
+func schedule(cfg Config) []arrival {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	endRate := cfg.Rate
+	if cfg.RampTo > 0 {
+		endRate = cfg.RampTo
+	}
+	var out []arrival
+	t := time.Duration(0)
+	for t < cfg.Duration {
+		frac := float64(t) / float64(cfg.Duration)
+		rate := cfg.Rate + (endRate-cfg.Rate)*frac
+		// Poisson arrivals: exponential inter-arrival at the current rate.
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+		if t >= cfg.Duration {
+			break
+		}
+		spec := server.JobSpec{
+			Kind:      server.KindSim,
+			Workload:  cfg.Workloads[rng.Intn(len(cfg.Workloads))],
+			Policy:    cfg.Policies[rng.Intn(len(cfg.Policies))],
+			Accesses:  cfg.Accesses,
+			Seed:      rng.Int63n(1 << 30),
+			TimeoutMS: cfg.TimeoutMS,
+		}
+		if rng.Float64() < cfg.PredictFraction {
+			spec.Kind = server.KindPredict
+			spec.Policy = cfg.PredictPolicies[rng.Intn(len(cfg.PredictPolicies))]
+		}
+		out = append(out, arrival{at: t, spec: spec})
+	}
+	return out
+}
+
+// Run executes one open-loop load run and returns its report. Latency per
+// request lands in the "loadgen.latency.seconds" histogram (plus a per-kind
+// split), outcome counts in "loadgen.status.*" counters, and — when a sink
+// is attached — each request and a periodic in-flight timeline sample are
+// emitted as JSONL events.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg, err := cfg.defaulted()
+	if err != nil {
+		return Report{}, err
+	}
+	plan := schedule(cfg)
+	c := client.New(cfg.Target, cfg.HTTPClient)
+
+	latBuckets := obs.ExpBuckets(1e-4, 1.6, 32)
+	latency := cfg.Obs.Histogram("loadgen.latency.seconds", latBuckets)
+	latSim := cfg.Obs.Histogram("loadgen.latency.sim.seconds", latBuckets)
+	latPredict := cfg.Obs.Histogram("loadgen.latency.predict.seconds", latBuckets)
+
+	var (
+		inFlight    atomic.Int64
+		maxInFlight atomic.Int64
+		completed   atomic.Int64
+		failed      atomic.Int64
+		smu         sync.Mutex
+		statuses    = map[string]int{}
+	)
+	record := func(spec server.JobSpec, d time.Duration, err error) {
+		key := "ok"
+		if err != nil {
+			failed.Add(1)
+			key = "transport"
+			var ae *client.APIError
+			if errors.As(err, &ae) {
+				key = fmt.Sprintf("%d", ae.StatusCode)
+			}
+		} else {
+			completed.Add(1)
+			latency.Observe(d.Seconds())
+			if spec.Kind == server.KindPredict {
+				latPredict.Observe(d.Seconds())
+			} else {
+				latSim.Observe(d.Seconds())
+			}
+		}
+		cfg.Obs.Counter("loadgen.status." + key).Inc()
+		smu.Lock()
+		statuses[key]++
+		smu.Unlock()
+		if cfg.Sink != nil {
+			cfg.Sink.Emit("loadgen", "request", map[string]any{
+				"kind": spec.Kind, "workload": spec.Workload, "policy": spec.Policy,
+				"seed": spec.Seed, "latency_sec": d.Seconds(), "outcome": key,
+			})
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+
+	// In-flight timeline sampler: the client-side queue-depth signal.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		ticker := time.NewTicker(cfg.SampleEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-ticker.C:
+				n := inFlight.Load()
+				cfg.Obs.Histogram("loadgen.inflight", obs.LinearBuckets(0, 8, 16)).Observe(float64(n))
+				if cfg.Sink != nil {
+					cfg.Sink.Emit("loadgen", "sample", map[string]any{
+						"t_sec": time.Since(start).Seconds(), "in_flight": n,
+						"completed": completed.Load(), "errors": failed.Load(),
+					})
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, a := range plan {
+		if wait := a.at - time.Since(start); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(spec server.JobSpec) {
+			defer wg.Done()
+			n := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if n <= m || maxInFlight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			t0 := time.Now()
+			_, err := c.Do(runCtx, spec)
+			record(spec, time.Since(t0), err)
+		}(a.spec)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	<-samplerDone
+
+	snap := cfg.Obs.Snapshot()
+	var latSnap obs.HistSnap
+	for _, h := range snap.Hists {
+		if h.Name == "loadgen.latency.seconds" {
+			latSnap = h
+		}
+	}
+	rep := Report{
+		Target:       cfg.Target,
+		DurationSec:  elapsed.Seconds(),
+		Offered:      len(plan),
+		Completed:    int(completed.Load()),
+		Errors:       int(failed.Load()),
+		OfferedRate:  offeredRate(cfg, plan),
+		Throughput:   float64(completed.Load()) / elapsed.Seconds(),
+		LatencyMean:  latSnap.Mean(),
+		LatencyP50:   latSnap.Quantile(0.50),
+		LatencyP90:   latSnap.Quantile(0.90),
+		LatencyP99:   latSnap.Quantile(0.99),
+		MaxInFlight:  int(maxInFlight.Load()),
+		StatusCounts: statuses,
+	}
+	return rep, nil
+}
+
+func offeredRate(cfg Config, plan []arrival) float64 {
+	if cfg.Duration <= 0 {
+		return 0
+	}
+	return float64(len(plan)) / cfg.Duration.Seconds()
+}
+
+// ApplySLO grades the report against a p99 latency target and a max error
+// rate, recording the verdict in rep.SLO.
+func (rep *Report) ApplySLO(p99Target time.Duration, maxErrorRate float64) {
+	total := rep.Completed + rep.Errors
+	errRate := 0.0
+	if total > 0 {
+		errRate = float64(rep.Errors) / float64(total)
+	}
+	pass := rep.LatencyP99 <= p99Target.Seconds() && errRate <= maxErrorRate
+	// A run that completed nothing cannot pass.
+	if rep.Completed == 0 {
+		pass = false
+	}
+	rep.SLO = &SLOResult{
+		P99TargetSec: p99Target.Seconds(),
+		MaxErrorRate: maxErrorRate,
+		ErrorRate:    math.Round(errRate*1e6) / 1e6,
+		Pass:         pass,
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"glider/internal/gateway"
+	"glider/internal/obs"
+	"glider/internal/server"
+)
+
+func TestScheduleDeterministicRampedAndBounded(t *testing.T) {
+	base := Config{Target: "http://x", Duration: 2 * time.Second, Rate: 50, Seed: 9}
+	cfg, err := base.defaulted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := schedule(cfg)
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	if again := schedule(cfg); !reflect.DeepEqual(plan, again) {
+		t.Fatal("same seed produced different plans")
+	}
+	other := cfg
+	other.Seed = 10
+	if reflect.DeepEqual(plan, schedule(other)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	prev := time.Duration(-1)
+	for _, a := range plan {
+		if a.at <= prev || a.at >= cfg.Duration {
+			t.Fatalf("arrival at %v out of order or past duration", a.at)
+		}
+		prev = a.at
+		if a.spec.Workload == "" || a.spec.Policy == "" || a.spec.Accesses != cfg.Accesses {
+			t.Fatalf("malformed spec %+v", a.spec)
+		}
+	}
+
+	// A ramp to 4x the base rate offers measurably more jobs than constant
+	// rate, and the second half is denser than the first.
+	ramped := cfg
+	ramped.RampTo = cfg.Rate * 4
+	rplan := schedule(ramped)
+	if len(rplan) <= len(plan) {
+		t.Fatalf("ramped plan has %d arrivals, flat plan %d", len(rplan), len(plan))
+	}
+	half := 0
+	for _, a := range rplan {
+		if a.at < cfg.Duration/2 {
+			half++
+		}
+	}
+	if half*2 >= len(rplan) {
+		t.Fatalf("ramp not back-loaded: %d of %d arrivals in first half", half, len(rplan))
+	}
+}
+
+func TestApplySLOVerdicts(t *testing.T) {
+	rep := Report{Completed: 98, Errors: 2, LatencyP99: 0.200}
+	rep.ApplySLO(500*time.Millisecond, 0.05)
+	if rep.SLO == nil || !rep.SLO.Pass || rep.SLO.ErrorRate != 0.02 {
+		t.Fatalf("lenient SLO: %+v", rep.SLO)
+	}
+	rep.ApplySLO(100*time.Millisecond, 0.05)
+	if rep.SLO.Pass {
+		t.Fatal("p99 over target passed")
+	}
+	rep.ApplySLO(500*time.Millisecond, 0.01)
+	if rep.SLO.Pass {
+		t.Fatal("error rate over target passed")
+	}
+	empty := Report{}
+	empty.ApplySLO(time.Hour, 1)
+	if empty.SLO.Pass {
+		t.Fatal("a run that completed nothing passed its SLO")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, b ,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %v", got)
+	}
+}
+
+// TestLoadgenAgainstClusterProducesSLOReport is the acceptance path: an
+// open-loop run against a real three-node fleet behind the gateway must
+// complete work, report nonzero latency percentiles, and leave a parseable
+// JSONL event stream with both request and timeline-sample events.
+func TestLoadgenAgainstClusterProducesSLOReport(t *testing.T) {
+	var backends []string
+	for i := 0; i < 3; i++ {
+		s := server.New(server.Config{ShardID: string(rune('a' + i))})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("drain at teardown: %v", err)
+			}
+		})
+		backends = append(backends, ts.URL)
+	}
+	gw := gateway.New(gateway.Config{Backends: backends})
+	defer gw.Close()
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	sink, err := obs.CreateJSONL(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		Target:          gts.URL,
+		Duration:        1200 * time.Millisecond,
+		Rate:            40,
+		RampTo:          80,
+		Seed:            7,
+		Workloads:       []string{"omnetpp"},
+		Policies:        []string{"lru", "lip"},
+		Accesses:        2000,
+		PredictFraction: 0.2,
+		SampleEvery:     50 * time.Millisecond,
+		Sink:            sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Offered == 0 || rep.Completed == 0 {
+		t.Fatalf("nothing ran: %+v", rep)
+	}
+	if rep.Errors > rep.Offered/10 {
+		t.Fatalf("%d/%d requests failed: %+v", rep.Errors, rep.Offered, rep.StatusCounts)
+	}
+	if rep.LatencyP50 <= 0 || rep.LatencyP99 <= 0 {
+		t.Fatalf("zero latency percentiles: p50=%v p99=%v", rep.LatencyP50, rep.LatencyP99)
+	}
+	if rep.LatencyP99 < rep.LatencyP50 {
+		t.Fatalf("p99 %v below p50 %v", rep.LatencyP99, rep.LatencyP50)
+	}
+	if rep.MaxInFlight < 1 || rep.Throughput <= 0 || rep.OfferedRate <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if rep.StatusCounts["ok"] != rep.Completed {
+		t.Fatalf("status counts %v disagree with completed %d", rep.StatusCounts, rep.Completed)
+	}
+
+	rep.ApplySLO(30*time.Second, 0.5)
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Fatalf("lenient SLO failed: %+v", rep.SLO)
+	}
+	rep.ApplySLO(time.Nanosecond, 0)
+	if rep.SLO.Pass {
+		t.Fatal("nanosecond SLO passed")
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var requests, samples int
+	for _, e := range evs {
+		if e.Component != "loadgen" {
+			t.Fatalf("unexpected component %q", e.Component)
+		}
+		switch e.Event {
+		case "request":
+			requests++
+			if _, ok := e.Fields["latency_sec"]; !ok {
+				t.Fatalf("request event missing latency: %+v", e)
+			}
+		case "sample":
+			samples++
+			if _, ok := e.Fields["in_flight"]; !ok {
+				t.Fatalf("sample event missing in_flight: %+v", e)
+			}
+		}
+	}
+	if requests != rep.Completed+rep.Errors {
+		t.Fatalf("%d request events for %d outcomes", requests, rep.Completed+rep.Errors)
+	}
+	if samples == 0 {
+		t.Fatal("no timeline samples recorded")
+	}
+}

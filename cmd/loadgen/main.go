@@ -1,0 +1,98 @@
+// Command loadgen is an open-loop traffic generator for a gliderd node or a
+// gateway-fronted fleet: Poisson arrivals (optionally ramping), a
+// configurable sim/predict job mix, latency histograms and an in-flight
+// timeline recorded through internal/obs, and a machine-readable SLO report
+// (see EXPERIMENTS.md "Load-testing a fleet").
+//
+// Quickstart against a local 3-shard fleet (see cmd/gateway):
+//
+//	loadgen -target http://127.0.0.1:8080 -duration 30s -rate 20 -ramp-to 80 \
+//	  -accesses 60000 -out slo.json -events load.jsonl -slo-p99 2s
+//
+// The exit status is 0 when the run met its SLO (or none was set), 1 on a
+// violated SLO, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"glider/internal/obs"
+)
+
+func main() {
+	target := flag.String("target", "", "gateway or gliderd base URL (required)")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	rate := flag.Float64("rate", 10, "arrival rate at t=0 (jobs/sec)")
+	rampTo := flag.Float64("ramp-to", 0, "final arrival rate for a linear ramp (0 = constant)")
+	seed := flag.Int64("seed", 1, "arrival schedule and job mix seed")
+	workloads := flag.String("workloads", "omnetpp,mcf", "comma-separated workloads to sample")
+	policies := flag.String("policies", "lru,glider", "comma-separated sim policies to sample")
+	accesses := flag.Int("accesses", 20_000, "per-job trace length")
+	predictFrac := flag.Float64("predict-fraction", 0.1, "share of jobs issued as predict queries")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-job deadline forwarded to the server (0 = server default)")
+	out := flag.String("out", "", "SLO report path (default stdout)")
+	events := flag.String("events", "", "JSONL event sink for per-request and timeline records")
+	sample := flag.Duration("sample-every", 100*time.Millisecond, "in-flight timeline sampling period")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency objective (0 = report only, no grading)")
+	sloErr := flag.Float64("slo-error-rate", 0.01, "max error rate for the SLO verdict")
+	flag.Parse()
+
+	cfg := Config{
+		Target:          *target,
+		Duration:        *duration,
+		Rate:            *rate,
+		RampTo:          *rampTo,
+		Seed:            *seed,
+		Workloads:       splitList(*workloads),
+		Policies:        splitList(*policies),
+		Accesses:        *accesses,
+		PredictFraction: *predictFrac,
+		TimeoutMS:       *timeoutMS,
+		SampleEvery:     *sample,
+	}
+	if *events != "" {
+		sink, err := obs.CreateJSONL(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: closing events: %v\n", err)
+			}
+		}()
+		cfg.Sink = sink
+	}
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	if *sloP99 > 0 {
+		rep.ApplySLO(*sloP99, *sloErr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		fmt.Fprintf(os.Stderr, "loadgen: SLO violated: p99 %.4fs (target %.4fs), error rate %.4f (max %.4f)\n",
+			rep.LatencyP99, rep.SLO.P99TargetSec, rep.SLO.ErrorRate, rep.SLO.MaxErrorRate)
+		os.Exit(1)
+	}
+}

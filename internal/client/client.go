@@ -87,6 +87,18 @@ func (c *Client) Sim(ctx context.Context, spec server.JobSpec) (SimResponse, err
 	return out, nil
 }
 
+// Do posts spec to the endpoint matching its Kind ("sim" → /v1/sim,
+// "predict" → /v1/predict, defaulting to sim) and returns the raw envelope
+// without decoding the result — the forwarding primitive the gateway's
+// routing, retry, and hedging paths are built on.
+func (c *Client) Do(ctx context.Context, spec server.JobSpec) (server.Envelope, error) {
+	path := "/v1/sim"
+	if spec.Kind == server.KindPredict {
+		path = "/v1/predict"
+	}
+	return c.postJob(ctx, path, spec)
+}
+
 // PredictResponse is one prediction query result plus envelope metadata.
 type PredictResponse struct {
 	Hash   string
@@ -166,24 +178,31 @@ func (c *Client) Catalog(ctx context.Context) (server.Catalog, error) {
 // server answers 503; that state string is still returned alongside the
 // *APIError.
 func (c *Client) Health(ctx context.Context) (string, error) {
+	h, err := c.HealthDetail(ctx)
+	return h.Status, err
+}
+
+// HealthDetail fetches the full /healthz payload — shard identity, drain
+// state, queue occupancy. Like Health, a non-200 answer still returns the
+// decoded payload alongside the *APIError, so callers (the gateway's
+// membership poller) can distinguish "draining" from "dead".
+func (c *Client) HealthDetail(ctx context.Context) (server.Health, error) {
+	var body server.Health
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
-		return "", err
+		return body, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return "", err
+		return body, err
 	}
 	defer resp.Body.Close()
-	var body struct {
-		Status string `json:"status"`
-	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	_ = json.Unmarshal(data, &body)
 	if resp.StatusCode != http.StatusOK {
-		return body.Status, &APIError{StatusCode: resp.StatusCode, Message: body.Status, RetryAfter: retryAfter(resp)}
+		return body, &APIError{StatusCode: resp.StatusCode, Message: body.Status, RetryAfter: retryAfter(resp)}
 	}
-	return body.Status, nil
+	return body, nil
 }
 
 // Metrics fetches the server's metric snapshot.

@@ -225,6 +225,56 @@ func TestClientAPIErrors(t *testing.T) {
 	}
 }
 
+// TestClientDoAndHealthDetail covers the gateway-facing primitives: Do
+// routes by spec.Kind and returns the raw envelope; HealthDetail exposes the
+// full /healthz payload including shard identity and drain state.
+func TestClientDoAndHealthDetail(t *testing.T) {
+	s := server.New(server.Config{Executor: cannedExecutor, ShardID: "s7"})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	env, err := c.Do(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 1})
+	if err != nil || env.Hash == "" || len(env.Result) == 0 {
+		t.Fatalf("Do sim: env=%+v err=%v", env, err)
+	}
+	var cell experiments.CellResult
+	if err := json.Unmarshal(env.Result, &cell); err != nil || cell.Policy != "lru" {
+		t.Fatalf("Do sim result: %v %+v", err, cell)
+	}
+	penv, err := c.Do(ctx, server.JobSpec{Kind: server.KindPredict, Workload: "mcf", Policy: "glider", Accesses: 1000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Do predict: %v", err)
+	}
+	var pres experiments.PredictResult
+	if err := json.Unmarshal(penv.Result, &pres); err != nil || len(pres.Verdicts) != 1 {
+		t.Fatalf("Do predict result: %v %+v", err, pres)
+	}
+
+	h, err := c.HealthDetail(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Shard != "s7" || h.Draining || h.QueueCapacity <= 0 {
+		t.Fatalf("health detail %+v", h)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.HealthDetail(ctx)
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != 503 {
+		t.Fatalf("health detail after drain: err=%v", err)
+	}
+	if h.Status != "draining" || !h.Draining || h.Shard != "s7" {
+		t.Fatalf("drained payload %+v", h)
+	}
+}
+
 func asAPIError(err error, target **client.APIError) bool {
 	if e, ok := err.(*client.APIError); ok {
 		*target = e

@@ -1,0 +1,176 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"glider/internal/experiments"
+	"glider/internal/policy"
+	"glider/internal/server"
+)
+
+// The cluster differential suite is the gateway's correctness anchor: a
+// result routed through the gateway to a real three-node gliderd fleet must
+// be byte-identical to json.Marshal of the direct experiments call — for
+// every registered policy, and even while the fleet is churning (one node
+// draining, another killed mid-suite). Rings, retries, failovers, and both
+// cache tiers must all be invisible in the payload.
+
+func registeredPolicies(t *testing.T) []string {
+	t.Helper()
+	names := make([]string, 0, len(policy.Registry))
+	for name := range policy.Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) < 17 {
+		t.Fatalf("policy registry shrank to %d entries", len(names))
+	}
+	return names
+}
+
+func TestDifferentialClusterSimAllPoliciesUnderChurn(t *testing.T) {
+	const (
+		bench    = "omnetpp"
+		accesses = 40_000
+		seed     = 42
+	)
+	names := registeredPolicies(t)
+
+	direct := make(map[string][]byte, len(names))
+	for _, pol := range names {
+		res, err := experiments.RunCell(context.Background(), bench, pol, accesses, seed)
+		if err != nil {
+			t.Fatalf("direct %s: %v", pol, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[pol] = b
+	}
+
+	// Real backends: exec nil routes to the experiments entry points.
+	c := newCluster(t, 3, realCellExec, nil)
+
+	drainAt, killAt := len(names)/3, 2*len(names)/3
+	var drainDone chan error
+	for i, pol := range names {
+		switch i {
+		case drainAt:
+			// Drain b0 mid-suite; Poll drops it from the ring. Drain blocks
+			// until b0's in-flight work finishes, so it runs in background.
+			drainDone = make(chan error, 1)
+			srv := c.nodes[0].srv
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				drainDone <- srv.Drain(ctx)
+			}()
+			waitForMembers(t, c, 2)
+		case killAt:
+			// Kill b2 outright: no drain, no poll — the gateway must notice
+			// via the transport failure on the next job b2 owns.
+			c.nodes[2].Kill()
+		}
+		body := fmt.Sprintf(`{"workload":%q,"policy":%q,"accesses":%d,"seed":%d}`, bench, pol, accesses, seed)
+		status, _, data := postJSON(t, c.ts, "/v1/sim", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s (job %d): status %d, body %s", pol, i, status, data)
+		}
+		env := decodeEnvelope(t, data)
+		if !bytes.Equal(env.Result, direct[pol]) {
+			t.Errorf("%s: gateway bytes diverge from direct run\n gateway: %s\n  direct: %s", pol, env.Result, direct[pol])
+		}
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("mid-suite drain: %v", err)
+	}
+	if gh := c.gw.Health(); gh.Healthy != 1 {
+		t.Fatalf("after drain+kill: %+v", gh)
+	}
+
+	// The survivor alone still answers, still byte-identical.
+	status, _, data := postJSON(t, c.ts, "/v1/sim",
+		fmt.Sprintf(`{"workload":%q,"policy":"lru","accesses":%d,"seed":%d}`, bench, accesses, seed))
+	if status != http.StatusOK {
+		t.Fatalf("single survivor: status %d body %s", status, data)
+	}
+	if env := decodeEnvelope(t, data); !bytes.Equal(env.Result, direct["lru"]) {
+		t.Error("single-survivor result diverges from direct run")
+	}
+}
+
+func TestDifferentialClusterPredictMatchesDirect(t *testing.T) {
+	const (
+		bench    = "mcf"
+		accesses = 40_000
+		seed     = 7
+	)
+	c := newCluster(t, 3, realCellExec, nil)
+
+	for _, pol := range []string{"hawkeye", "glider"} {
+		spec := server.JobSpec{Kind: server.KindPredict, Workload: bench, Policy: pol, Accesses: accesses, Seed: seed}
+		if err := spec.Validate(server.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		// Validate filled the report-size defaults the backend will use.
+		res, err := experiments.RunPredictCell(context.Background(), bench, pol, accesses, seed, spec.TopPCs, spec.ISVMRows)
+		if err != nil {
+			t.Fatalf("direct predict %s: %v", pol, err)
+		}
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf(`{"workload":%q,"policy":%q,"accesses":%d,"seed":%d}`, bench, pol, accesses, seed)
+		status, _, data := postJSON(t, c.ts, "/v1/predict", body)
+		if status != http.StatusOK {
+			t.Fatalf("predict %s: status %d body %s", pol, status, data)
+		}
+		env := decodeEnvelope(t, data)
+		if !bytes.Equal(env.Result, want) {
+			t.Errorf("predict %s: gateway bytes diverge from direct run", pol)
+		}
+	}
+}
+
+// realCellExec is the production executor pair, minus the server's own
+// plumbing: exactly what cmd/gliderd wires in.
+func realCellExec(ctx context.Context, spec server.JobSpec) (json.RawMessage, error) {
+	switch spec.Kind {
+	case server.KindPredict:
+		res, err := experiments.RunPredictCell(ctx, spec.Workload, spec.Policy, spec.Accesses, spec.Seed, spec.TopPCs, spec.ISVMRows)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	default:
+		res, err := experiments.RunCell(ctx, spec.Workload, spec.Policy, spec.Accesses, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+}
+
+func waitForMembers(t *testing.T, c *cluster, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.gw.Poll(context.Background())
+		if c.gw.ring.Len() == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring stuck at %d members, want %d", c.gw.ring.Len(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzRingChurn drives the ring through arbitrary membership-churn
+// sequences — each input byte is one op: the low 3 bits pick a node out of a
+// fixed set of 8, bit 3 picks add vs remove — and pins the two distributed
+// invariants the gateway leans on:
+//
+//  1. Lookups never land on a dead node: Owner and every Successor must be a
+//     current member, Successors(k, n) must be distinct, and asking for the
+//     whole membership must return exactly the live set.
+//  2. Ownership is a pure function of the final membership set: replaying
+//     only the surviving adds, in sorted order, yields an identical ring.
+func FuzzRingChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 2})                      // add b0,b1,b2
+	f.Add([]byte{0, 1, 8, 2, 9, 0})             // churn: add/remove interleaved
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 8})    // add all, drop b0
+	f.Add([]byte{0, 8, 0, 8, 0, 8})             // flap one node
+	f.Add([]byte{3, 11, 3, 11, 5, 2, 13, 10})   // repeated churn on few nodes
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const replicas = 16
+		r := NewRing(replicas)
+		live := map[string]bool{}
+		for _, op := range ops {
+			node := fmt.Sprintf("b%d", op&7)
+			if op&8 == 0 {
+				r.Add(node)
+				live[node] = true
+			} else {
+				r.Remove(node)
+				delete(live, node)
+			}
+		}
+
+		members := r.Nodes()
+		if len(members) != len(live) {
+			t.Fatalf("ring has %d members, want %d live (%v)", len(members), len(live), members)
+		}
+		for _, m := range members {
+			if !live[m] {
+				t.Fatalf("dead node %s still a member", m)
+			}
+		}
+
+		keys := make([]string, 24)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("j%016x", i*2654435761)
+		}
+		for _, key := range keys {
+			owner, ok := r.Owner(key)
+			if len(live) == 0 {
+				if ok {
+					t.Fatalf("empty ring returned owner %s", owner)
+				}
+				continue
+			}
+			if !ok || !live[owner] {
+				t.Fatalf("key %s routed to %q (ok=%v), live=%v", key, owner, ok, live)
+			}
+			succ := r.Successors(key, len(live))
+			if len(succ) != len(live) || succ[0] != owner {
+				t.Fatalf("successors %v for %s: want all %d live nodes, owner first", succ, key, len(live))
+			}
+			seen := map[string]bool{}
+			for _, s := range succ {
+				if !live[s] || seen[s] {
+					t.Fatalf("successors %v contain dead or duplicate node", succ)
+				}
+				seen[s] = true
+			}
+		}
+
+		// Rebuild from the final membership only, in sorted order: ownership
+		// must match the churned ring exactly.
+		rebuilt := NewRing(replicas)
+		final := make([]string, 0, len(live))
+		for n := range live {
+			final = append(final, n)
+		}
+		sort.Strings(final)
+		for _, n := range final {
+			rebuilt.Add(n)
+		}
+		for _, key := range keys {
+			a, aok := r.Owner(key)
+			b, bok := rebuilt.Owner(key)
+			if a != b || aok != bok {
+				t.Fatalf("key %s: churned ring owner %q, rebuilt ring owner %q", key, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,534 @@
+package gateway
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"glider/internal/client"
+	"glider/internal/obs"
+	"glider/internal/server"
+)
+
+// Config sizes the gateway. Zero values select the documented defaults.
+type Config struct {
+	// Backends are the gliderd base URLs the gateway shards over.
+	Backends []string
+	// Replicas is the ring's virtual-point count per node (default 64).
+	Replicas int
+	// PollInterval is the /healthz poll period; <= 0 disables the background
+	// poller (membership then moves via Poll calls and passive markdown on
+	// transport errors — the deterministic mode the tests use).
+	PollInterval time.Duration
+	// PollTimeout bounds one health probe (default 2s).
+	PollTimeout time.Duration
+	// Retries caps the attempts per job, first try included (default 3).
+	// Attempts walk the key's ring successor order, so a retry is also a
+	// failover to the next-preferred shard.
+	Retries int
+	// BackoffBase/BackoffCap shape the capped exponential retry backoff
+	// (defaults client.DefaultBackoffBase / client.DefaultBackoffCap).
+	BackoffBase, BackoffCap time.Duration
+	// BackoffSeed fixes the jitter sequence for deterministic tests.
+	BackoffSeed int64
+	// HedgeDelay, when positive, races a second shard after a request has
+	// gone unanswered that long (straggler defence). 0 disables hedging.
+	HedgeDelay time.Duration
+	// CacheEntries bounds the gateway-level result LRU (default 1024) — the
+	// upper tier over the per-node caches.
+	CacheEntries int
+	// Limits bounds what one request may ask for (same semantics as the
+	// backend's; requests are validated before routing).
+	Limits server.Limits
+	// HTTPClient overrides the transport used for every backend.
+	HTTPClient *http.Client
+	// Obs receives the gateway's metrics; nil allocates a fresh registry.
+	Obs *obs.Registry
+}
+
+func (c Config) defaulted() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c
+}
+
+// node is one backend: its stable ring name ("b<i>"), base URL, and client.
+type node struct {
+	name string
+	base string
+	c    *client.Client
+}
+
+// NodeStatus is one backend's state in the gateway's /healthz payload.
+type NodeStatus struct {
+	Name    string        `json:"name"`
+	Base    string        `json:"base"`
+	Healthy bool          `json:"healthy"`
+	Detail  server.Health `json:"detail"`
+}
+
+// GatewayHealth is the gateway's /healthz payload.
+type GatewayHealth struct {
+	Status  string       `json:"status"` // "ok" while >= 1 backend is live
+	Healthy int          `json:"healthy"`
+	Total   int          `json:"total"`
+	Nodes   []NodeStatus `json:"nodes"`
+}
+
+// Gateway fronts a gliderd fleet. Create with New, mount Handler, stop with
+// Close.
+type Gateway struct {
+	cfg     Config
+	reg     *obs.Registry
+	nodes   []*node
+	byName  map[string]*node
+	ring    *Ring
+	backoff *client.Backoff
+
+	mu     sync.Mutex
+	live   map[string]bool
+	detail map[string]server.Health
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	pollDone chan struct{}
+
+	cmu   sync.Mutex
+	cache map[string]*list.Element
+	order *list.List // front = most recently used
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	nodeCacheHt *obs.Counter
+	retries     *obs.Counter
+	failovers   *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	completed   *obs.Counter
+	saturated   *obs.Counter
+	noBackends  *obs.Counter
+	latency     *obs.Timer
+}
+
+type gwCacheEntry struct {
+	hash   string
+	result json.RawMessage
+}
+
+// New builds a gateway over cfg.Backends. Every backend starts as a ring
+// member (optimistic: a dead node is marked down by its first failed probe
+// or failed request); when PollInterval > 0 a background poller keeps
+// membership current.
+func New(cfg Config) *Gateway {
+	cfg = cfg.defaulted()
+	g := &Gateway{
+		cfg:      cfg,
+		reg:      cfg.Obs,
+		byName:   make(map[string]*node, len(cfg.Backends)),
+		ring:     NewRing(cfg.Replicas),
+		backoff:  client.NewBackoff(cfg.BackoffBase, cfg.BackoffCap, cfg.BackoffSeed),
+		live:     make(map[string]bool, len(cfg.Backends)),
+		detail:   make(map[string]server.Health, len(cfg.Backends)),
+		stopCh:   make(chan struct{}),
+		pollDone: make(chan struct{}),
+		cache:    make(map[string]*list.Element),
+		order:    list.New(),
+	}
+	for i, base := range cfg.Backends {
+		n := &node{name: "b" + strconv.Itoa(i), base: base, c: client.New(base, cfg.HTTPClient)}
+		g.nodes = append(g.nodes, n)
+		g.byName[n.name] = n
+		g.ring.Add(n.name)
+		g.live[n.name] = true
+	}
+	g.cacheHits = g.reg.Counter("gateway.cache.hits")
+	g.cacheMisses = g.reg.Counter("gateway.cache.misses")
+	g.nodeCacheHt = g.reg.Counter("gateway.node_cache.hits")
+	g.retries = g.reg.Counter("gateway.retries")
+	g.failovers = g.reg.Counter("gateway.failovers")
+	g.hedges = g.reg.Counter("gateway.hedges")
+	g.hedgeWins = g.reg.Counter("gateway.hedge.wins")
+	g.completed = g.reg.Counter("gateway.jobs.completed")
+	g.saturated = g.reg.Counter("gateway.rejected.saturated")
+	g.noBackends = g.reg.Counter("gateway.rejected.no_backends")
+	g.latency = g.reg.Timer("gateway.request.seconds")
+	if cfg.PollInterval > 0 {
+		go g.pollLoop()
+	} else {
+		close(g.pollDone)
+	}
+	return g
+}
+
+// Registry exposes the gateway's metric registry (the /metrics source).
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// Close stops the background poller. In-flight requests are unaffected.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	<-g.pollDone
+}
+
+// --------------------------------------------------------------- membership
+
+func (g *Gateway) pollLoop() {
+	defer close(g.pollDone)
+	ticker := time.NewTicker(g.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-ticker.C:
+			g.Poll(context.Background())
+		}
+	}
+}
+
+// Poll probes every backend's /healthz once and updates ring membership: a
+// node is live iff the probe succeeds with status "ok". A draining node
+// reports "draining" (and 503), so it leaves the ring — new keys route
+// around it while its in-flight work, which the gateway never cancels on a
+// membership change, still completes.
+func (g *Gateway) Poll(ctx context.Context) {
+	for _, n := range g.nodes {
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.PollTimeout)
+		h, err := n.c.HealthDetail(pctx)
+		cancel()
+		g.setHealth(n, err == nil && h.Status == "ok", h)
+	}
+}
+
+func (g *Gateway) setHealth(n *node, ok bool, h server.Health) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.detail[n.name] = h
+	if ok == g.live[n.name] {
+		return
+	}
+	g.live[n.name] = ok
+	if ok {
+		g.ring.Add(n.name)
+		g.reg.Counter("gateway.node.up").Inc()
+	} else {
+		g.ring.Remove(n.name)
+		g.reg.Counter("gateway.node.down").Inc()
+	}
+}
+
+// markDown is the passive path: a transport-level failure on a live node
+// removes it immediately rather than waiting for the next poll.
+func (g *Gateway) markDown(n *node) {
+	g.setHealth(n, false, server.Health{})
+}
+
+// candidates returns the key's preference-ordered live nodes: ring owner
+// first, then its successors.
+func (g *Gateway) candidates(hash string) []*node {
+	names := g.ring.Successors(hash, len(g.nodes))
+	out := make([]*node, 0, len(names))
+	for _, name := range names {
+		out = append(out, g.byName[name])
+	}
+	return out
+}
+
+// ----------------------------------------------------------------- routing
+
+// errNoBackends means the ring is empty — every backend is down or draining.
+var errNoBackends = errors.New("no healthy backends")
+
+// dispatch forwards spec to its owning shard, walking the successor order on
+// temporary failures with capped jittered backoff, hedging stragglers when
+// configured. Exactly one envelope is returned per call no matter how many
+// attempts or hedges were launched.
+func (g *Gateway) dispatch(ctx context.Context, spec server.JobSpec, hash string) (server.Envelope, error) {
+	cands := g.candidates(hash)
+	if len(cands) == 0 {
+		g.noBackends.Inc()
+		return server.Envelope{}, errNoBackends
+	}
+	var env server.Envelope
+	attempt := 0
+	err := client.Retry(ctx, g.backoff, g.cfg.Retries, func(ctx context.Context) error {
+		i := attempt
+		attempt++
+		if i > 0 {
+			g.retries.Inc()
+			if len(cands) > 1 {
+				g.failovers.Inc()
+			}
+		}
+		primary := cands[i%len(cands)]
+		var hedge *node
+		if g.cfg.HedgeDelay > 0 && len(cands) > 1 {
+			hedge = cands[(i+1)%len(cands)]
+		}
+		e, who, err := g.callNode(ctx, primary, hedge, spec)
+		if err != nil {
+			if hedge == nil && client.IsTemporary(err) && !isAPIError(err) {
+				g.markDown(primary) // transport failure: node is gone
+			}
+			return err
+		}
+		env = e
+		g.reg.Counter("gateway.node." + who.name + ".served").Inc()
+		return nil
+	})
+	return env, err
+}
+
+func (g *Gateway) callNode(ctx context.Context, primary, hedge *node, spec server.JobSpec) (server.Envelope, *node, error) {
+	if hedge == nil || hedge == primary {
+		env, err := primary.c.Do(ctx, spec)
+		return env, primary, err
+	}
+	env, out, err := client.Hedged(ctx, g.cfg.HedgeDelay,
+		func(ctx context.Context) (server.Envelope, error) { return primary.c.Do(ctx, spec) },
+		func(ctx context.Context) (server.Envelope, error) { return hedge.c.Do(ctx, spec) })
+	if out.Fired {
+		g.hedges.Inc()
+	}
+	who := primary
+	if out.Won {
+		g.hedgeWins.Inc()
+		who = hedge
+	}
+	return env, who, err
+}
+
+func isAPIError(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae)
+}
+
+// ------------------------------------------------------------- result LRU
+
+func (g *Gateway) cacheGet(hash string) (json.RawMessage, bool) {
+	g.cmu.Lock()
+	defer g.cmu.Unlock()
+	el, ok := g.cache[hash]
+	if !ok {
+		return nil, false
+	}
+	g.order.MoveToFront(el)
+	return el.Value.(*gwCacheEntry).result, true
+}
+
+func (g *Gateway) cacheAdd(hash string, res json.RawMessage) {
+	g.cmu.Lock()
+	defer g.cmu.Unlock()
+	if el, ok := g.cache[hash]; ok {
+		g.order.MoveToFront(el)
+		el.Value.(*gwCacheEntry).result = res
+		return
+	}
+	g.cache[hash] = g.order.PushFront(&gwCacheEntry{hash: hash, result: res})
+	for len(g.cache) > g.cfg.CacheEntries {
+		el := g.order.Back()
+		g.order.Remove(el)
+		delete(g.cache, el.Value.(*gwCacheEntry).hash)
+	}
+}
+
+// ----------------------------------------------------------------- HTTP
+
+// CacheHeader reports which tier served a job: "gateway", "node", or "miss".
+const CacheHeader = "X-Gliderd-Cache"
+
+// Handler mounts the gateway API: the same /v1/sim and /v1/predict contract
+// as a single gliderd node (so internal/client works unchanged against a
+// fleet), plus the gateway's own /healthz, /metrics, and proxied catalog.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/catalog", g.handleCatalog)
+	mux.HandleFunc("POST /v1/sim", g.handleJob(server.KindSim, "sim"))
+	mux.HandleFunc("POST /v1/predict", g.handleJob(server.KindPredict, "predict"))
+	return mux
+}
+
+func (g *Gateway) handleJob(kind, endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.reg.Counter("gateway.http." + endpoint).Inc()
+		start := time.Now()
+		var spec server.JobSpec
+		if err := decodeJSON(w, r, &spec); err != nil {
+			g.writeError(w, endpoint, badRequest(err.Error()))
+			return
+		}
+		if spec.Kind == "" {
+			spec.Kind = kind
+		}
+		if spec.Kind != kind {
+			g.writeError(w, endpoint, unprocessable(fmt.Sprintf("kind %q does not match endpoint /v1/%s", spec.Kind, endpoint)))
+			return
+		}
+		if err := spec.Validate(g.cfg.Limits); err != nil {
+			g.writeError(w, endpoint, err)
+			return
+		}
+		hash := spec.Hash()
+		if res, ok := g.cacheGet(hash); ok {
+			g.cacheHits.Inc()
+			w.Header().Set(CacheHeader, "gateway")
+			writeJSON(w, http.StatusOK, server.Envelope{Hash: hash, Cached: true, Result: res})
+			return
+		}
+		g.cacheMisses.Inc()
+		env, err := g.dispatch(r.Context(), spec, hash)
+		if err != nil {
+			g.writeError(w, endpoint, err)
+			return
+		}
+		g.cacheAdd(hash, env.Result)
+		g.completed.Inc()
+		g.latency.Observe(time.Since(start))
+		tier := "miss"
+		if env.Cached {
+			g.nodeCacheHt.Inc()
+			tier = "node"
+		}
+		w.Header().Set(CacheHeader, tier)
+		writeJSON(w, http.StatusOK, server.Envelope{Hash: hash, Cached: env.Cached, Result: env.Result})
+	}
+}
+
+// Health reports the gateway's view of the fleet.
+func (g *Gateway) Health() GatewayHealth {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gh := GatewayHealth{Total: len(g.nodes)}
+	for _, n := range g.nodes {
+		ns := NodeStatus{Name: n.name, Base: n.base, Healthy: g.live[n.name], Detail: g.detail[n.name]}
+		if ns.Healthy {
+			gh.Healthy++
+		}
+		gh.Nodes = append(gh.Nodes, ns)
+	}
+	gh.Status = "ok"
+	if gh.Healthy == 0 {
+		gh.Status = "unavailable"
+	}
+	return gh
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.http.healthz").Inc()
+	gh := g.Health()
+	status := http.StatusOK
+	if gh.Healthy == 0 {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, gh)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.http.metrics").Inc()
+	writeJSON(w, http.StatusOK, g.reg.Snapshot())
+}
+
+// handleCatalog proxies the catalog from the first live backend: the fleet
+// shares one registry build, so any node's answer is authoritative.
+func (g *Gateway) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.http.catalog").Inc()
+	for _, name := range g.ring.Nodes() {
+		cat, err := g.byName[name].c.Catalog(r.Context())
+		if err == nil {
+			writeJSON(w, http.StatusOK, cat)
+			return
+		}
+	}
+	g.writeError(w, "catalog", errNoBackends)
+}
+
+// ------------------------------------------------------------ error plumbing
+
+type gwError struct {
+	status int
+	msg    string
+}
+
+func (e *gwError) Error() string { return e.msg }
+
+func badRequest(msg string) error    { return &gwError{status: http.StatusBadRequest, msg: msg} }
+func unprocessable(msg string) error { return &gwError{status: 422, msg: msg} }
+
+// writeError maps a failure to a response. Backend rejections keep their
+// status and Retry-After semantics — a fleet-wide 429 surfaces to the caller
+// as a 429 with a Retry-After hint, transport-level failures become 502, and
+// an empty ring answers 503.
+func (g *Gateway) writeError(w http.ResponseWriter, endpoint string, err error) {
+	g.reg.Counter("gateway.http." + endpoint + ".errors").Inc()
+	status := http.StatusBadGateway
+	retryAfter := ""
+	var ge *gwError
+	var ae *client.APIError
+	switch {
+	case errors.As(err, &ge):
+		status = ge.status
+	case server.StatusCode(err) != 0:
+		// Local validation rejections reuse the backend's status mapping so
+		// the gateway answers exactly like a single node would.
+		status = server.StatusCode(err)
+	case errors.As(err, &ae):
+		status = ae.StatusCode
+		if ae.Temporary() {
+			secs := int(ae.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			retryAfter = strconv.Itoa(secs)
+			if status == http.StatusTooManyRequests {
+				g.saturated.Inc()
+			}
+		}
+	case errors.Is(err, errNoBackends):
+		status = http.StatusServiceUnavailable
+		retryAfter = "1"
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,325 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"glider/internal/server"
+)
+
+func TestGatewayRoutingAndTwoTierCache(t *testing.T) {
+	c := newCluster(t, 3, cannedCellExec, nil)
+
+	spec := simSpec(1)
+	if err := spec.Validate(server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	hash := spec.Hash()
+	owner := c.ownerIndex(t, hash)
+
+	status, hdr, body := postJSON(t, c.ts, "/v1/sim", simBody(1))
+	if status != http.StatusOK {
+		t.Fatalf("sim: status %d body %s", status, body)
+	}
+	if got := hdr.Get(CacheHeader); got != "miss" {
+		t.Fatalf("first request cache tier = %q, want miss", got)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Hash != hash || env.Cached {
+		t.Fatalf("first envelope %+v, want hash %s uncached", env, hash)
+	}
+	if n := c.totalExecs(hash); n != 1 {
+		t.Fatalf("job executed %d times across fleet, want 1", n)
+	}
+	if n := c.nodes[owner].execCount(hash); n != 1 {
+		t.Fatalf("ring owner b%d did not execute the job", owner)
+	}
+
+	// Repeat: served from the gateway tier, byte-identical, no new execution.
+	status, hdr, body2 := postJSON(t, c.ts, "/v1/sim", simBody(1))
+	if status != http.StatusOK || hdr.Get(CacheHeader) != "gateway" {
+		t.Fatalf("repeat: status %d tier %q", status, hdr.Get(CacheHeader))
+	}
+	env2 := decodeEnvelope(t, body2)
+	if !env2.Cached || env2.Hash != hash || string(env2.Result) != string(env.Result) {
+		t.Fatalf("gateway-tier hit not byte-identical: %+v vs %+v", env2, env)
+	}
+	if c.totalExecs(hash) != 1 {
+		t.Fatal("gateway cache hit re-executed the job")
+	}
+	if c.counter("gateway.cache.hits") != 1 || c.counter("gateway.cache.misses") != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d", c.counter("gateway.cache.hits"), c.counter("gateway.cache.misses"))
+	}
+
+	// A fresh gateway over the same fleet has a cold upper tier but hits the
+	// owning node's cache: tier "node", still exactly one execution ever.
+	g2 := New(Config{Backends: func() []string {
+		var b []string
+		for _, nd := range c.nodes {
+			b = append(b, nd.ts.URL)
+		}
+		return b
+	}()})
+	defer g2.Close()
+	ts2 := httptest.NewServer(g2.Handler())
+	defer ts2.Close()
+	status, hdr, body3 := postJSON(t, ts2, "/v1/sim", simBody(1))
+	if status != http.StatusOK || hdr.Get(CacheHeader) != "node" {
+		t.Fatalf("fresh gateway: status %d tier %q body %s", status, hdr.Get(CacheHeader), body3)
+	}
+	env3 := decodeEnvelope(t, body3)
+	if !env3.Cached || string(env3.Result) != string(env.Result) {
+		t.Fatalf("node-tier hit not byte-identical")
+	}
+	if c.totalExecs(hash) != 1 {
+		t.Fatal("node cache hit re-executed the job")
+	}
+
+	// Shard affinity across many keys: every job lands on its ring owner,
+	// and with 100 keys over 3 nodes each shard serves some of them.
+	for seed := int64(10); seed < 110; seed++ {
+		s := simSpec(seed)
+		if err := s.Validate(server.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		status, _, body := postJSON(t, c.ts, "/v1/sim", simBody(seed))
+		if status != http.StatusOK {
+			t.Fatalf("seed %d: status %d body %s", seed, status, body)
+		}
+		h := s.Hash()
+		want := c.ownerIndex(t, h)
+		for i, nd := range c.nodes {
+			wantCount := 0
+			if i == want {
+				wantCount = 1
+			}
+			if got := nd.execCount(h); got != wantCount {
+				t.Fatalf("seed %d: node b%d executed %d times, want %d", seed, i, got, wantCount)
+			}
+		}
+	}
+	for i, nd := range c.nodes {
+		nd.mu.Lock()
+		jobs := len(nd.execs)
+		nd.mu.Unlock()
+		if jobs == 0 {
+			t.Fatalf("node b%d served no jobs out of 101 — ring badly skewed", i)
+		}
+	}
+	if c.counter("gateway.retries") != 0 {
+		t.Fatalf("healthy fleet needed %d retries", c.counter("gateway.retries"))
+	}
+}
+
+func TestGatewayRejectsBadRequestsBeforeRouting(t *testing.T) {
+	c := newCluster(t, 2, cannedCellExec, nil)
+
+	status, _, body := postJSON(t, c.ts, "/v1/sim", `{"workload":"omnetpp","policy":"nope","accesses":10}`)
+	if status != 422 {
+		t.Fatalf("unknown policy: status %d body %s", status, body)
+	}
+	status, _, _ = postJSON(t, c.ts, "/v1/sim", `{"kind":"predict","workload":"omnetpp","policy":"glider","accesses":10}`)
+	if status != 422 {
+		t.Fatalf("kind mismatch: status %d", status)
+	}
+	status, _, _ = postJSON(t, c.ts, "/v1/sim", `{not json`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", status)
+	}
+	for _, nd := range c.nodes {
+		nd.mu.Lock()
+		jobs := len(nd.execs)
+		nd.mu.Unlock()
+		if jobs != 0 {
+			t.Fatalf("invalid requests reached backend %s", nd.name)
+		}
+	}
+}
+
+func TestGatewayHealthzMetricsAndCatalog(t *testing.T) {
+	c := newCluster(t, 3, cannedCellExec, nil)
+	c.gw.Poll(context.Background())
+
+	status, _, body := getJSON(t, c.ts, "/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	var gh GatewayHealth
+	if err := json.Unmarshal(body, &gh); err != nil {
+		t.Fatal(err)
+	}
+	if gh.Status != "ok" || gh.Healthy != 3 || gh.Total != 3 || len(gh.Nodes) != 3 {
+		t.Fatalf("gateway health %+v", gh)
+	}
+	for i, ns := range gh.Nodes {
+		if !ns.Healthy || ns.Detail.Shard != fmt.Sprintf("s%d", i) {
+			t.Fatalf("node %d status %+v: want healthy with shard s%d", i, ns, i)
+		}
+	}
+
+	status, _, body = getJSON(t, c.ts, "/v1/catalog")
+	if status != http.StatusOK {
+		t.Fatalf("catalog: status %d", status)
+	}
+	var cat struct {
+		Workloads []string `json:"workloads"`
+		Policies  []string `json:"policies"`
+	}
+	if err := json.Unmarshal(body, &cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Workloads) == 0 || len(cat.Policies) == 0 {
+		t.Fatalf("proxied catalog empty: %s", body)
+	}
+
+	status, _, body = getJSON(t, c.ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cs := range snap.Counters {
+		if cs.Name == "gateway.http.healthz" && cs.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics missing gateway.http.healthz: %s", body)
+	}
+}
+
+// TestGatewayDrainRemovesNodeWithoutDroppingInflight pins the membership
+// contract: a draining node leaves the ring as soon as a poll sees it, yet
+// the job already running on it completes through the gateway.
+func TestGatewayDrainRemovesNodeWithoutDroppingInflight(t *testing.T) {
+	spec := simSpec(77)
+	if err := spec.Validate(server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	blockHash := spec.Hash()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	exec := func(ctx context.Context, s server.JobSpec) (json.RawMessage, error) {
+		if s.Hash() == blockHash {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return cannedCellExec(ctx, s)
+	}
+	c := newCluster(t, 3, exec, nil)
+	owner := c.ownerIndex(t, blockHash)
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		// Raw http.Post: t.Fatal must not run off the test goroutine.
+		resp, err := http.Post(c.ts.URL+"/v1/sim", "application/json", strings.NewReader(simBody(77)))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+	<-started
+
+	// Drain the owner while its job is mid-flight. Drain blocks until the
+	// running work finishes, so it runs in the background; the draining flag
+	// flips before Drain waits, which is what the poll observes.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- c.nodes[owner].srv.Drain(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.gw.Poll(context.Background())
+		if !c.gw.ring.Has(c.nodes[owner].name) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining node never left the ring")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if gh := c.gw.Health(); gh.Healthy != 2 || gh.Status != "ok" {
+		t.Fatalf("health with one draining node: %+v", gh)
+	}
+
+	// New work for a key the drained node used to own routes to a survivor.
+	reSeed := int64(-1)
+	for seed := int64(200); seed < 400; seed++ {
+		s := simSpec(seed)
+		if err := s.Validate(server.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+		// ownerIndex consults the live ring, so any key now maps to a
+		// survivor; pick one and prove the drained node never sees it.
+		if c.ownerIndex(t, s.Hash()) != owner {
+			reSeed = seed
+			break
+		}
+	}
+	if reSeed < 0 {
+		t.Fatal("no key found that moved off the drained node")
+	}
+	status, _, body := postJSON(t, c.ts, "/v1/sim", simBody(reSeed))
+	if status != http.StatusOK {
+		t.Fatalf("rerouted job: status %d body %s", status, body)
+	}
+	rs := simSpec(reSeed)
+	if err := rs.Validate(server.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.nodes[owner].execCount(rs.Hash()); got != 0 {
+		t.Fatal("draining node received new work")
+	}
+
+	// The in-flight job still completes once released — never dropped.
+	close(release)
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("in-flight job during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight job during drain: status %d body %s", r.status, r.body)
+	}
+	env := decodeEnvelope(t, r.body)
+	if env.Hash != blockHash || len(env.Result) == 0 {
+		t.Fatalf("in-flight envelope %+v", env)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := c.totalExecs(blockHash); got != 1 {
+		t.Fatalf("in-flight job executed %d times, want 1", got)
+	}
+}

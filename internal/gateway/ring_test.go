@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingOwnershipInsertionOrderIndependent(t *testing.T) {
+	t.Parallel()
+	nodes := []string{"b0", "b1", "b2", "b3", "b4"}
+	orders := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+	}
+	var want map[string]string
+	for _, order := range orders {
+		r := NewRing(32)
+		for _, i := range order {
+			r.Add(nodes[i])
+		}
+		got := make(map[string]string)
+		for k := 0; k < 200; k++ {
+			key := fmt.Sprintf("j%016x", k*7919)
+			owner, ok := r.Owner(key)
+			if !ok {
+				t.Fatal("owner missing on populated ring")
+			}
+			got[key] = owner
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for k, w := range want {
+			if got[k] != w {
+				t.Fatalf("order %v: key %s owned by %s, want %s", order, k, got[k], w)
+			}
+		}
+	}
+}
+
+// TestRingRemovalOnlyMovesOwnedKeys is the cache-locality property: removing
+// one node must not reshuffle keys between the survivors.
+func TestRingRemovalOnlyMovesOwnedKeys(t *testing.T) {
+	t.Parallel()
+	r := NewRing(64)
+	for _, n := range []string{"b0", "b1", "b2", "b3"} {
+		r.Add(n)
+	}
+	before := make(map[string]string)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("j%016x", k)
+		before[key], _ = r.Owner(key)
+	}
+	r.Remove("b2")
+	for key, prev := range before {
+		now, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("owner missing")
+		}
+		if now == "b2" {
+			t.Fatalf("key %s routed to removed node", key)
+		}
+		if prev != "b2" && now != prev {
+			t.Fatalf("key %s moved %s → %s though its owner survived", key, prev, now)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOwnerFirst(t *testing.T) {
+	t.Parallel()
+	r := NewRing(16)
+	for _, n := range []string{"b0", "b1", "b2"} {
+		r.Add(n)
+	}
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		owner, _ := r.Owner(key)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("got %d successors, want 3", len(succ))
+		}
+		if succ[0] != owner {
+			t.Fatalf("successor[0] = %s, owner = %s", succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %s for %s: %v", s, key, succ)
+			}
+			seen[s] = true
+		}
+	}
+	// n beyond membership clamps; empty ring yields nothing.
+	if got := r.Successors("k", 99); len(got) != 3 {
+		t.Fatalf("oversized n: %v", got)
+	}
+	empty := NewRing(16)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring produced an owner")
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-point spread: across many keys
+// no node of a 4-node ring should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	t.Parallel()
+	r := NewRing(DefaultReplicas)
+	const nodes = 4
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("b%d", i))
+	}
+	counts := map[string]int{}
+	const keys = 20_000
+	for k := 0; k < keys; k++ {
+		owner, _ := r.Owner(fmt.Sprintf("j%016x", k))
+		counts[owner]++
+	}
+	for n, c := range counts {
+		share := float64(c) / keys
+		if math.Abs(share-1.0/nodes) > 0.15 {
+			t.Fatalf("node %s owns %.1f%% of keys (counts %v)", n, share*100, counts)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	t.Parallel()
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("double add: len %d", r.Len())
+	}
+	r.Remove("ghost")
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || len(r.Nodes()) != 0 {
+		t.Fatalf("ring not empty after removals: %v", r.Nodes())
+	}
+	if got := r.Successors("k", 1); got != nil {
+		t.Fatalf("empty ring successors = %v", got)
+	}
+}

@@ -205,3 +205,53 @@ func TestLinearAndExpBuckets(t *testing.T) {
 		t.Fatalf("exp = %v", exp)
 	}
 }
+
+// TestHistQuantile pins the bucket-interpolation estimator the gateway and
+// loadgen reports lean on: exact at bucket boundaries, linear inside a
+// bucket, clamped to the last finite bound for overflow observations.
+func TestHistQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", LinearBuckets(10, 10, 3)) // bounds 10, 20, 30
+	for i := 0; i < 5; i++ {
+		h.Observe(5)  // first bucket
+		h.Observe(15) // second bucket
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.5, 10}, {0.75, 15}, {1, 20},
+		{-1, 0}, {2, 20}, // out-of-range q clamps
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Overflow observations clamp to the last finite bound.
+	over := r.Histogram("q.over", LinearBuckets(10, 10, 3))
+	for i := 0; i < 4; i++ {
+		over.Observe(1000)
+	}
+	if got := over.Quantile(0.99); got != 30 {
+		t.Errorf("overflow quantile = %v, want clamp to 30", got)
+	}
+
+	// Empty histograms and nil receivers answer 0.
+	if got := r.Histogram("q.empty", LinearBuckets(1, 1, 2)).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v", got)
+	}
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v", got)
+	}
+
+	// The snapshot path agrees with the live path.
+	var hs HistSnap
+	for _, s := range r.Snapshot().Hists {
+		if s.Name == "q" {
+			hs = s
+		}
+	}
+	if got := hs.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Errorf("snapshot quantile = %v, want 15", got)
+	}
+}

@@ -75,6 +75,65 @@ func (h HistSnap) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts by
+// linear interpolation inside the target bucket, the standard
+// fixed-bucket estimator: exact at bucket boundaries, at worst one bucket
+// wide in between. Observations in the +Inf overflow bucket clamp to the
+// last finite bound. An empty histogram returns 0.
+func (h HistSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	lower := 0.0
+	for i, b := range h.Buckets {
+		if i > 0 {
+			lower = h.Buckets[i-1].UpperBound
+		}
+		next := cum + b.Count
+		if float64(next) >= rank && b.Count > 0 {
+			if math.IsInf(b.UpperBound, 1) {
+				return lower // overflow bucket: clamp to last finite bound
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b.UpperBound-lower)*frac
+		}
+		cum = next
+	}
+	last := h.Buckets[len(h.Buckets)-1].UpperBound
+	if math.IsInf(last, 1) && len(h.Buckets) > 1 {
+		return h.Buckets[len(h.Buckets)-2].UpperBound
+	}
+	return last
+}
+
+// Quantile estimates the live histogram's q-quantile without a full
+// registry snapshot (see HistSnap.Quantile for the estimator).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	hs := HistSnap{Count: h.Count(), Sum: h.Sum()}
+	for i := range h.buckets {
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		hs.Buckets = append(hs.Buckets, BucketSnap{UpperBound: ub, Count: h.buckets[i].Load()})
+	}
+	return hs.Quantile(q)
+}
+
 // VecSnap summarizes a vector: full cells for small labeled vectors,
 // aggregate shape (sum, nonzero, max) always.
 type VecSnap struct {
@@ -189,7 +248,8 @@ func (s Snapshot) WriteSummary(w io.Writer) {
 	if len(s.Hists) > 0 {
 		fmt.Fprintf(w, "histograms:\n")
 		for _, h := range s.Hists {
-			fmt.Fprintf(w, "  %-44s count %10d  mean %12.6g\n", h.Name, h.Count, h.Mean())
+			fmt.Fprintf(w, "  %-44s count %10d  mean %12.6g  p50 %12.6g  p99 %12.6g\n",
+				h.Name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 		}
 	}
 	if len(s.Vecs) > 0 {

@@ -509,3 +509,62 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 10s")
 }
+
+// TestShardIdentityAndHealthPayload pins the fleet-facing surface the
+// gateway consumes: every response from a shard-named server carries the
+// shard header, and /healthz reports the full membership payload — shard,
+// drain state, and queue shape — flipping to draining/503 without losing
+// the shard identity.
+func TestShardIdentityAndHealthPayload(t *testing.T) {
+	instant := func(ctx context.Context, spec JobSpec) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}
+	s, ts := newTestServer(t, Config{ShardID: "shard-3", QueueDepth: 7, Executor: instant})
+
+	status, hdr, _ := postJSON(t, ts, "/v1/sim", `{"workload":"omnetpp","policy":"lru","accesses":1000,"seed":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("sim: status %d", status)
+	}
+	if got := hdr.Get(ShardHeader); got != "shard-3" {
+		t.Fatalf("%s = %q, want shard-3", ShardHeader, got)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(ShardHeader) != "shard-3" {
+		t.Fatalf("healthz: status %d shard %q", resp.StatusCode, resp.Header.Get(ShardHeader))
+	}
+	if h.Status != "ok" || h.Shard != "shard-3" || h.Draining || h.QueueCapacity != 7 || h.QueueDepth != 0 {
+		t.Fatalf("health payload %+v", h)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, data := getJSON(t, ts, "/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: status %d", status)
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || !h.Draining || h.Shard != "shard-3" {
+		t.Fatalf("drained payload %+v", h)
+	}
+
+	// A server with no shard identity emits no header.
+	_, ts2 := newTestServer(t, Config{Executor: instant})
+	status, hdr, _ = postJSON(t, ts2, "/v1/sim", `{"workload":"omnetpp","policy":"lru","accesses":1000,"seed":1}`)
+	if status != http.StatusOK || hdr.Get(ShardHeader) != "" {
+		t.Fatalf("anonymous server: status %d shard header %q", status, hdr.Get(ShardHeader))
+	}
+}

@@ -52,6 +52,10 @@ type Config struct {
 	MaxBatchJobs int
 	// Limits bounds what a single job may ask for.
 	Limits Limits
+	// ShardID names this instance inside a fleet. When set, every response
+	// carries it in the ShardHeader header and the /healthz payload reports
+	// it — the attribution the gateway's routing tests pin.
+	ShardID string
 	// Obs receives the server's metrics; nil allocates a fresh registry
 	// (exposed on /metrics either way).
 	Obs *obs.Registry
@@ -111,6 +115,18 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// StatusCode returns the HTTP status carried by an error this package
+// produced (validation rejections, queue-full, draining), or 0 for any other
+// error. It lets layers above — the gateway validates specs before routing —
+// map rejections to the same wire status a single node would answer with.
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return 0
+}
 
 // Sentinel rejections. errQueueFull maps to 429 + Retry-After, errDraining
 // to 503 + Retry-After.
@@ -413,6 +429,22 @@ func (s *Server) cacheAdd(hash string, res json.RawMessage) {
 
 // ----------------------------------------------------------------- HTTP
 
+// ShardHeader is the response header naming the instance that served a
+// request (set only when Config.ShardID is non-empty).
+const ShardHeader = "X-Gliderd-Shard"
+
+// Health is the /healthz payload: the coarse state string ("ok" or
+// "draining"), the shard identity, and queue occupancy, so a gateway can
+// both gate membership on Status and see saturation building before it
+// turns into 429s.
+type Health struct {
+	Status        string `json:"status"`
+	Shard         string `json:"shard,omitempty"`
+	Draining      bool   `json:"draining"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
 // Handler mounts the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -422,7 +454,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sim", s.handleJob(KindSim, "sim"))
 	mux.HandleFunc("POST /v1/predict", s.handleJob(KindPredict, "predict"))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return mux
+	if s.cfg.ShardID == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ShardHeader, s.cfg.ShardID)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -436,7 +474,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{"status": state})
+	writeJSON(w, status, Health{
+		Status:        state,
+		Shard:         s.cfg.ShardID,
+		Draining:      draining,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
