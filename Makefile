@@ -55,6 +55,8 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^FuzzReadText$$' -fuzz '^FuzzReadText$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^FuzzReadAuto$$' -fuzz '^FuzzReadAuto$$' -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^FuzzReadChampSim$$' -fuzz '^FuzzReadChampSim$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ingest/ -run '^FuzzStreamVsOneShot$$' -fuzz '^FuzzStreamVsOneShot$$' -fuzztime 10s
+	$(GO) test ./internal/trace/ingest/ -run '^FuzzParseSpec$$' -fuzz '^FuzzParseSpec$$' -fuzztime 10s
 	$(GO) test ./internal/server/ -run '^FuzzJobSpecDecode$$' -fuzz '^FuzzJobSpecDecode$$' -fuzztime 10s
 	$(GO) test ./internal/server/ -run '^FuzzJobHash$$' -fuzz '^FuzzJobHash$$' -fuzztime 10s
 	$(GO) test ./internal/gateway/ -run '^FuzzRingChurn$$' -fuzz '^FuzzRingChurn$$' -fuzztime 10s
@@ -69,6 +71,14 @@ server-smoke:
 # in-process multi-node fleets) plus the open-loop load generator.
 gateway-smoke:
 	$(GO) test -race -count 1 ./internal/gateway/... ./cmd/loadgen/...
+
+# ingest-smoke runs the streaming-ingestion wall under the race detector:
+# the scanner differential suite (incl. the 256 MiB bounded-memory scan),
+# the generator property tests, the spec parser, and the scenario-zoo
+# differential tests on server and gateway.
+ingest-smoke:
+	$(GO) test -race -count 1 ./internal/trace/ ./internal/trace/ingest/
+	$(GO) test -race -count 1 -run 'Ingest|SpecSpellings|Zoo|CatalogListsSchemes|GatewayCatalogProxiesSchemes' ./internal/server/ ./internal/gateway/ ./internal/experiments/
 
 # soak drives sustained concurrent load (real simulations, cache churn,
 # mixed sim/predict traffic) through a live server under -race.

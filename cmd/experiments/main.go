@@ -5,7 +5,10 @@
 //	experiments [-quick] [-accesses N] [-mixes N] [-seed N] [-workers N] <experiment>...
 //
 // where <experiment> is any of: table1 table2 table3 table4 fig4 fig5 fig6
-// fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations all.
+// fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations extension lineage zoo
+// all. The zoo experiment sweeps the scenario zoo (Zipf object streams,
+// multi-tenant mixes, ingested ChampSim traces) and accepts repeatable
+// -zoo-spec flags to choose scenarios.
 //
 // fig11 and fig12 share simulation runs and are emitted together.
 package main
@@ -38,6 +41,11 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "concurrent LSTM gradient workers per minibatch (0 = one per CPU); results are identical for any value")
 	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = one per CPU); results are identical for any value")
 	progress := flag.Bool("progress", false, "report per-job progress on stderr")
+	var zooSpecs []string
+	flag.Func("zoo-spec", "scenario spec for the zoo experiment (repeatable; default: built-in scenario set)", func(s string) error {
+		zooSpecs = append(zooSpecs, s)
+		return nil
+	})
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when all experiments finish")
 	profiles := prof.Flags(flag.CommandLine)
@@ -111,16 +119,16 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "table3", "table4", "ablations", "extension", "lineage"}
+		args = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "table3", "table4", "ablations", "extension", "lineage", "zoo"}
 	}
 
 	for _, name := range args {
 		start := time.Now()
-		if err := run(name, cfg, *asJSON); err != nil {
+		if err := run(name, cfg, zooSpecs, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			stopProf()
 			os.Exit(1)
@@ -158,8 +166,14 @@ func emit(name string, r renderer, asJSON bool) error {
 	return enc.Encode(map[string]any{"experiment": name, "result": r})
 }
 
-func run(name string, cfg experiments.Config, asJSON bool) error {
+func run(name string, cfg experiments.Config, zooSpecs []string, asJSON bool) error {
 	switch name {
+	case "zoo":
+		z, err := experiments.RunZoo(cfg, zooSpecs)
+		if err != nil {
+			return err
+		}
+		return emit(name, z, asJSON)
 	case "table1":
 		return emit(name, experiments.RunTable1(), asJSON)
 	case "table2":

@@ -9,8 +9,9 @@
 //	glidersim -bench omnetpp -policy lru,hawkeye,glider -workers 4
 //	glidersim -champsim trace.gz -offline -batch 16 -train-workers 4
 //
-// Traces can come from a built-in synthetic benchmark (-bench) or from a
-// file written by tracegen (-trace, binary or text format). Giving -policy
+// Traces can come from a built-in synthetic benchmark or ingest spec string
+// (-bench, e.g. "zipf(objects=8192,skew=0.9)") or from a file written by
+// tracegen (-trace, binary or text format). Giving -policy
 // a comma-separated list runs the policies concurrently over the same trace
 // and prints a side-by-side comparison. -offline skips simulation and
 // instead trains the paper's offline attention LSTM on the loaded trace —
@@ -35,6 +36,7 @@ import (
 	"glider/internal/prof"
 	"glider/internal/simrunner"
 	"glider/internal/trace"
+	"glider/internal/trace/ingest"
 	"glider/internal/workload"
 )
 
@@ -72,6 +74,7 @@ func main() {
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		fmt.Println("spec schemes:", strings.Join(workload.Schemes(), " "))
 		pols := make([]string, 0, len(policy.Registry))
 		for name := range policy.Registry {
 			pols = append(pols, name)
@@ -196,16 +199,15 @@ func loadTrace(bench, file, champsim string, accesses, maxAccesses int, seed int
 			return nil, err
 		}
 		defer f.Close()
-		if strings.HasSuffix(champsim, ".gz") {
-			return trace.ReadChampSimGzip(f, champsim, maxAccesses)
-		}
-		return trace.ReadChampSim(f, champsim, maxAccesses)
+		// Streaming decode: bounded memory while reading, byte-identical to
+		// the one-shot readers, gzip auto-detected.
+		return ingest.ReadChampSimStream(f, champsim, maxAccesses)
 	case bench != "":
-		spec, err := workload.Lookup(bench)
+		spec, err := workload.Resolve(bench)
 		if err != nil {
 			return nil, err
 		}
-		return spec.Generate(accesses, seed), nil
+		return spec.GenerateE(accesses, seed)
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {

@@ -15,11 +15,13 @@ import (
 	"os"
 
 	"glider/internal/trace"
+	// Register champsim/zipf/mix spec schemes so -bench accepts spec strings.
+	_ "glider/internal/trace/ingest"
 	"glider/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark to generate")
+	bench := flag.String("bench", "", "benchmark name or workload spec string to generate")
 	accesses := flag.Int("accesses", 1_000_000, "trace length")
 	seed := flag.Int64("seed", 42, "generation seed")
 	out := flag.String("o", "", "output file (default stdout)")
@@ -51,11 +53,14 @@ func main() {
 }
 
 func generate(bench string, accesses int, seed int64, out string, text, gz, champsim bool) error {
-	spec, err := workload.Lookup(bench)
+	spec, err := workload.Resolve(bench)
 	if err != nil {
 		return err
 	}
-	tr := spec.Generate(accesses, seed)
+	tr, err := spec.GenerateE(accesses, seed)
+	if err != nil {
+		return err
+	}
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)

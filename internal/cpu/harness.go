@@ -75,7 +75,10 @@ func FlushHierarchyObs(h *cache.Hierarchy) {
 // on the first fifth of the trace (mirroring the paper's 200M-of-1B warmup).
 // Cancelling ctx aborts the simulation promptly (see Run).
 func SingleCore(ctx context.Context, spec workload.Spec, policyName string, accesses int, seed int64) (Result, error) {
-	t := workload.Shared(spec, accesses, seed)
+	t, err := workload.SharedE(spec, accesses, seed)
+	if err != nil {
+		return Result{}, err
+	}
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return Result{}, err
@@ -87,7 +90,10 @@ func SingleCore(ctx context.Context, spec workload.Spec, policyName string, acce
 // SingleCoreMissRate runs one benchmark functionally and returns the LLC
 // miss rate (Figure 11's underlying metric).
 func SingleCoreMissRate(ctx context.Context, spec workload.Spec, policyName string, accesses int, seed int64) (float64, error) {
-	t := workload.Shared(spec, accesses, seed)
+	t, err := workload.SharedE(spec, accesses, seed)
+	if err != nil {
+		return 0, err
+	}
 	h, err := BuildHierarchy(1, policyName)
 	if err != nil {
 		return 0, err
@@ -105,7 +111,11 @@ func MultiCore(ctx context.Context, mix workload.Mix, policyName string, accesse
 	cores := len(mix.Members)
 	perCore := make([]*trace.Trace, cores)
 	for i, spec := range mix.Members {
-		perCore[i] = workload.Shared(spec, accessesPerCore, seed+int64(i))
+		t, err := workload.SharedE(spec, accessesPerCore, seed+int64(i))
+		if err != nil {
+			return Result{}, err
+		}
+		perCore[i] = t
 	}
 	merged := trace.Interleave(fmt.Sprintf("mix%d", mix.ID), perCore...)
 	h, err := BuildHierarchy(cores, policyName)
@@ -120,7 +130,10 @@ func MultiCore(ctx context.Context, mix workload.Mix, policyName string, accesse
 // (shared LLC geometry and 12.8 GB/s DRAM): the IPCsingle baseline of §5.1,
 // which is defined as "executing in isolation on the same cache".
 func SoloOnShared(ctx context.Context, spec workload.Spec, cores int, policyName string, accesses int, seed int64) (Result, error) {
-	t := workload.Shared(spec, accesses, seed)
+	t, err := workload.SharedE(spec, accesses, seed)
+	if err != nil {
+		return Result{}, err
+	}
 	h, err := BuildHierarchy(cores, policyName)
 	if err != nil {
 		return Result{}, err

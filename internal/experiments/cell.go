@@ -7,6 +7,9 @@ import (
 
 	"glider/internal/cpu"
 	"glider/internal/policy"
+	// Register the champsim/zipf/mix workload-spec schemes so every cell
+	// (and therefore gliderd and the gateway) accepts ingested workloads.
+	_ "glider/internal/trace/ingest"
 	"glider/internal/workload"
 )
 
@@ -16,6 +19,11 @@ import (
 // the differential test suite call these entry points, so a server response
 // is byte-identical to a direct run by construction — any divergence is a
 // server bug, not a modeling question.
+//
+// The workload argument is anything workload.Resolve accepts: a registry
+// benchmark name or an ingest spec string (champsim/zipf/mix). Results echo
+// the canonical spec (spec.Name), so every spelling of a workload produces
+// byte-identical payloads.
 
 // CellResult summarizes one single-core timing simulation.
 type CellResult struct {
@@ -38,7 +46,7 @@ type CellResult struct {
 // Figure 11/12 study: Table 1 hierarchy, warmup on the first fifth of the
 // trace). Cancelling ctx aborts the simulation promptly.
 func RunCell(ctx context.Context, workloadName, policyName string, accesses int, seed int64) (CellResult, error) {
-	spec, err := workload.Lookup(workloadName)
+	spec, err := workload.Resolve(workloadName)
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -50,7 +58,7 @@ func RunCell(ctx context.Context, workloadName, policyName string, accesses int,
 		return CellResult{}, err
 	}
 	return CellResult{
-		Workload:     workloadName,
+		Workload:     spec.Name,
 		Policy:       policyName,
 		Accesses:     accesses,
 		Seed:         seed,
@@ -100,7 +108,7 @@ type PredictResult struct {
 // most-trained ISVM rows. Policies without a queryable predictor are
 // rejected.
 func RunPredictCell(ctx context.Context, workloadName, policyName string, accesses int, seed int64, topPCs, isvmRows int) (PredictResult, error) {
-	spec, err := workload.Lookup(workloadName)
+	spec, err := workload.Resolve(workloadName)
 	if err != nil {
 		return PredictResult{}, err
 	}
@@ -112,7 +120,10 @@ func RunPredictCell(ctx context.Context, workloadName, policyName string, access
 	if !ok {
 		return PredictResult{}, fmt.Errorf("experiments: policy %q does not expose a friendly/averse predictor", policyName)
 	}
-	t := workload.Shared(spec, accesses, seed)
+	t, err := workload.SharedE(spec, accesses, seed)
+	if err != nil {
+		return PredictResult{}, err
+	}
 	res, err := cpu.RunFunctional(ctx, t, h, accesses/5, true)
 	if err != nil {
 		return PredictResult{}, err
@@ -137,7 +148,7 @@ func RunPredictCell(ctx context.Context, workloadName, policyName string, access
 	}
 
 	out := PredictResult{
-		Workload:    workloadName,
+		Workload:    spec.Name,
 		Policy:      policyName,
 		Accesses:    accesses,
 		Seed:        seed,

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"glider/internal/cpu"
+	"glider/internal/simrunner"
+	"glider/internal/workload"
+)
+
+// ---------------------------------------------------------------- Scenario zoo
+
+// The scenario zoo extends the paper's synthetic benchmark study to the
+// ingestion pipeline's workloads: Zipf object streams, multi-tenant mixes,
+// and (when the caller supplies file specs) real ChampSim traces. It answers
+// the same question as Figure 11 — which policy wins, by how much — on
+// cache-service-shaped traffic instead of SPEC-shaped traffic.
+
+// DefaultZoo is the built-in scenario set: a skewed CDN steady state, the
+// same stream under periodic scans and popularity churn, and two-tenant
+// mixes under both arrival disciplines.
+func DefaultZoo() []string {
+	// Working sets are sized past the 2 MB LLC (32768 blocks) so policies
+	// face genuine replacement pressure rather than pure cold misses.
+	return []string{
+		"zipf(objects=65536,skew=0.9)",
+		"zipf(objects=65536,skew=0.9,scan-every=20000,scan-len=4096)",
+		"zipf(objects=65536,skew=0.7,churn-every=50000)",
+		"mix(rr,zipf(objects=49152,skew=0.9),mcf)",
+		"mix(poisson,zipf(objects=49152,skew=1.1),libquantum,p=0.7)",
+	}
+}
+
+// ZooCell is one (scenario, policy) simulation outcome.
+type ZooCell struct {
+	Workload    string  `json:"workload"`
+	Policy      string  `json:"policy"`
+	IPC         float64 `json:"ipc"`
+	LLCMissRate float64 `json:"llc_miss_rate"`
+}
+
+// Zoo is the scenario-zoo sweep result: Cells ordered scenario-major in the
+// input order, policy order PolicySet plus LRU baseline.
+type Zoo struct {
+	Scenarios []string  `json:"scenarios"`
+	Policies  []string  `json:"policies"`
+	Cells     []ZooCell `json:"cells"`
+}
+
+// ZooPolicySet is the comparison set for the scenario zoo: the paper's four
+// policies plus the LRU baseline the service deployments care about.
+var ZooPolicySet = append([]string{"lru"}, PolicySet...)
+
+// RunZoo sweeps every scenario spec across ZooPolicySet on the parallel
+// runner. Specs resolve through workload.Resolve, so registry names and
+// ingest spec strings both work; results echo canonical names.
+func RunZoo(cfg Config, specs []string) (Zoo, error) {
+	if len(specs) == 0 {
+		specs = DefaultZoo()
+	}
+	resolved := make([]workload.Spec, len(specs))
+	z := Zoo{Policies: ZooPolicySet}
+	for i, s := range specs {
+		spec, err := workload.Resolve(s)
+		if err != nil {
+			return Zoo{}, fmt.Errorf("zoo scenario %q: %w", s, err)
+		}
+		resolved[i] = spec
+		z.Scenarios = append(z.Scenarios, spec.Name)
+	}
+
+	var jobs []simrunner.Job[ZooCell]
+	for _, spec := range resolved {
+		for _, pol := range ZooPolicySet {
+			spec, pol := spec, pol
+			jobs = append(jobs, simrunner.Job[ZooCell]{
+				Key: simrunner.Key("zoo", spec.Name, pol),
+				Run: func(ctx context.Context) (ZooCell, error) {
+					res, err := cpu.SingleCore(ctx, spec, pol, cfg.Accesses, cfg.Seed)
+					if err != nil {
+						return ZooCell{}, fmt.Errorf("zoo %s/%s: %w", spec.Name, pol, err)
+					}
+					return ZooCell{
+						Workload:    spec.Name,
+						Policy:      pol,
+						IPC:         res.IPC,
+						LLCMissRate: res.LLC.MissRate(),
+					}, nil
+				},
+			})
+		}
+	}
+	cells, err := simrunner.Values(simrunner.Run(context.Background(), cfg.runnerOpts(), jobs))
+	if err != nil {
+		return Zoo{}, err
+	}
+	z.Cells = cells
+	return z, nil
+}
+
+// Render writes one miss-rate row per scenario, one column per policy.
+func (z Zoo) Render(w io.Writer) {
+	fmt.Fprintln(w, "Scenario zoo: LLC miss rate by policy")
+	fmt.Fprintf(w, "  %-64s", "scenario")
+	for _, p := range z.Policies {
+		fmt.Fprintf(w, " %9s", p)
+	}
+	fmt.Fprintln(w)
+	byKey := make(map[string]ZooCell, len(z.Cells))
+	for _, c := range z.Cells {
+		byKey[c.Workload+"\x00"+c.Policy] = c
+	}
+	for _, s := range z.Scenarios {
+		fmt.Fprintf(w, "  %-64s", s)
+		for _, p := range z.Policies {
+			fmt.Fprintf(w, " %8.2f%%", 100*byKey[s+"\x00"+p].LLCMissRate)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,107 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"glider/internal/experiments"
+	"glider/internal/server"
+)
+
+// The gateway must proxy ingested-workload jobs end to end: spec strings
+// route through the ring to a backend, execute on the shared cell entry
+// points, and come back byte-identical to a direct run — with canonical
+// spellings collapsing to one hash across the whole cluster.
+
+func TestGatewayServesIngestedScenarios(t *testing.T) {
+	const (
+		accesses = 6_000
+		seed     = 42
+	)
+	scenarios := []string{
+		"zipf(objects=4096,skew=0.9,scan-every=2000,scan-len=256)",
+		"mix(rr,zipf(objects=2048,skew=1.1),mcf)",
+	}
+	policies := []string{"lru", "hawkeye", "glider"}
+	c := newCluster(t, 3, realCellExec, nil)
+
+	for _, scen := range scenarios {
+		for _, pol := range policies {
+			res, err := experiments.RunCell(context.Background(), scen, pol, accesses, seed)
+			if err != nil {
+				t.Fatalf("direct %s/%s: %v", scen, pol, err)
+			}
+			direct, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := fmt.Sprintf(`{"workload":%q,"policy":%q,"accesses":%d,"seed":%d}`, scen, pol, accesses, seed)
+			status, _, data := postJSON(t, c.ts, "/v1/sim", body)
+			if status != http.StatusOK {
+				t.Fatalf("%s/%s: status %d, body %s", scen, pol, status, data)
+			}
+			env := decodeEnvelope(t, data)
+			if !bytes.Equal(env.Result, direct) {
+				t.Errorf("%s/%s: gateway bytes diverge from direct run\n gateway: %s\n  direct: %s", scen, pol, env.Result, direct)
+			}
+		}
+	}
+
+	// Spellings canonicalize before routing, so both land on one hash and
+	// the repeat is served from cache wherever it lands.
+	spellings := []string{
+		"zipf(objects=4096,skew=0.90,span=1,scan-every=2000,scan-len=256)",
+		scenarios[0],
+	}
+	var envs []server.Envelope
+	for _, w := range spellings {
+		body := fmt.Sprintf(`{"workload":%q,"policy":"lru","accesses":%d,"seed":%d}`, w, accesses, seed)
+		status, _, data := postJSON(t, c.ts, "/v1/sim", body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", w, status, data)
+		}
+		envs = append(envs, decodeEnvelope(t, data))
+	}
+	if envs[0].Hash != envs[1].Hash {
+		t.Fatalf("spellings hash differently across the gateway: %s vs %s", envs[0].Hash, envs[1].Hash)
+	}
+	if !bytes.Equal(envs[0].Result, envs[1].Result) {
+		t.Fatal("spellings returned different payloads")
+	}
+
+	// Malformed specs are rejected at the edge with 422.
+	status, _, data := postJSON(t, c.ts, "/v1/sim",
+		`{"workload":"zipf(objects=4096)","policy":"lru","accesses":1000,"seed":1}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed spec: status %d, body %s", status, data)
+	}
+}
+
+func TestGatewayCatalogProxiesSchemes(t *testing.T) {
+	c := newCluster(t, 2, realCellExec, nil)
+	status, _, body := getJSON(t, c.ts, "/v1/catalog")
+	if status != http.StatusOK {
+		t.Fatalf("catalog: status %d", status)
+	}
+	var cat struct {
+		Schemes []string `json:"schemes"`
+	}
+	if err := json.Unmarshal(body, &cat); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"champsim", "mix", "zipf"} {
+		found := false
+		for _, s := range cat.Schemes {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("proxied catalog schemes %v missing %q", cat.Schemes, want)
+		}
+	}
+}

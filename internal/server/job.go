@@ -88,9 +88,14 @@ func (j *JobSpec) Validate(lim Limits) error {
 	default:
 		return &apiError{status: 422, msg: fmt.Sprintf("unknown job kind %q (want %q or %q)", j.Kind, KindSim, KindPredict)}
 	}
-	if _, err := workload.Lookup(j.Workload); err != nil {
-		return &apiError{status: 422, msg: fmt.Sprintf("unknown workload %q", j.Workload)}
+	spec, err := workload.Resolve(j.Workload)
+	if err != nil {
+		return &apiError{status: 422, msg: fmt.Sprintf("unknown workload %q: %v", j.Workload, err)}
 	}
+	// Canonicalize so every spelling of a workload spec shares one job hash
+	// (and therefore one cache entry) and echoes the same payload a direct
+	// experiments.RunCell would produce.
+	j.Workload = spec.Name
 	if _, ok := policy.Registry[j.Policy]; !ok {
 		return &apiError{status: 422, msg: fmt.Sprintf("unknown policy %q", j.Policy)}
 	}

@@ -103,7 +103,10 @@ type Envelope struct {
 // Catalog lists what the server can simulate.
 type Catalog struct {
 	Workloads []string `json:"workloads"`
-	Policies  []string `json:"policies"`
+	// Schemes are the registered workload-spec schemes; jobs also accept
+	// spec strings like "zipf(objects=4096,skew=0.9)" built from these.
+	Schemes  []string `json:"schemes"`
+	Policies []string `json:"policies"`
 	// Predictors are the policies predict jobs accept.
 	Predictors []string `json:"predictors"`
 }
@@ -490,7 +493,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.http.catalog").Inc()
-	cat := Catalog{Workloads: workload.Names()}
+	cat := Catalog{Workloads: workload.Names(), Schemes: workload.Schemes()}
 	for name := range policy.Registry {
 		cat.Policies = append(cat.Policies, name)
 		if predictorCapable(name) {

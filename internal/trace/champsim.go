@@ -31,15 +31,19 @@ import (
 const ChampSimRecordSize = 64
 
 // ReadChampSim decodes a raw (uncompressed) ChampSim instruction trace.
-// maxAccesses bounds the output (0 = unlimited).
+// maxAccesses bounds the output per the package-wide convention (see
+// CapReached): ≤ 0 means unlimited, and a positive bound is exact — decoding
+// stops at exactly maxAccesses accesses even when that lands mid-record, and
+// no input past the record that completes the bound is read or validated.
 func ReadChampSim(r io.Reader, name string, maxAccesses int) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	t := New(name, 1<<16)
+	capHint := 1 << 16
+	if maxAccesses > 0 && maxAccesses < capHint {
+		capHint = maxAccesses
+	}
+	t := New(name, capHint)
 	var rec [ChampSimRecordSize]byte
-	for {
-		if maxAccesses > 0 && t.Len() >= maxAccesses {
-			break
-		}
+	for !CapReached(t.Len(), maxAccesses) {
 		_, err := io.ReadFull(br, rec[:])
 		if err == io.EOF {
 			break
@@ -50,23 +54,43 @@ func ReadChampSim(r io.Reader, name string, maxAccesses int) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		ip := binary.LittleEndian.Uint64(rec[0:8])
-		// destination_memory at offset 16: two store addresses.
-		for i := 0; i < 2; i++ {
-			addr := binary.LittleEndian.Uint64(rec[16+8*i : 24+8*i])
-			if addr != 0 {
-				t.Append(Access{PC: ip, Addr: addr, Kind: Store})
+		var accs [ChampSimMaxAccesses]Access
+		for _, a := range DecodeChampSimRecord(rec, accs[:0]) {
+			if CapReached(t.Len(), maxAccesses) {
+				break
 			}
-		}
-		// source_memory at offset 32: four load addresses.
-		for i := 0; i < 4; i++ {
-			addr := binary.LittleEndian.Uint64(rec[32+8*i : 40+8*i])
-			if addr != 0 {
-				t.Append(Access{PC: ip, Addr: addr, Kind: Load})
-			}
+			t.Append(a)
 		}
 	}
 	return t, nil
+}
+
+// ChampSimMaxAccesses is the most accesses one ChampSim record can expand to
+// (2 store slots + 4 load slots).
+const ChampSimMaxAccesses = 6
+
+// DecodeChampSimRecord expands one 64-byte ChampSim record into its memory
+// accesses: up to 2 stores (destination_memory) then up to 4 loads
+// (source_memory), in slot order, skipping zero slots. Results are appended
+// to dst and the extended slice is returned; passing a slice with capacity
+// ChampSimMaxAccesses makes the call allocation-free.
+func DecodeChampSimRecord(rec [ChampSimRecordSize]byte, dst []Access) []Access {
+	ip := binary.LittleEndian.Uint64(rec[0:8])
+	// destination_memory at offset 16: two store addresses.
+	for i := 0; i < 2; i++ {
+		addr := binary.LittleEndian.Uint64(rec[16+8*i : 24+8*i])
+		if addr != 0 {
+			dst = append(dst, Access{PC: ip, Addr: addr, Kind: Store})
+		}
+	}
+	// source_memory at offset 32: four load addresses.
+	for i := 0; i < 4; i++ {
+		addr := binary.LittleEndian.Uint64(rec[32+8*i : 40+8*i])
+		if addr != 0 {
+			dst = append(dst, Access{PC: ip, Addr: addr, Kind: Load})
+		}
+	}
+	return dst
 }
 
 // ReadChampSimGzip decodes a gzip-compressed ChampSim trace (the common

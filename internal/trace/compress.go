@@ -24,6 +24,12 @@ func WriteBinaryGzip(w io.Writer, t *Trace) error {
 // ReadAuto decodes a trace in any supported container: gzip-compressed
 // binary, raw binary, or text — detected by sniffing the leading bytes.
 func ReadAuto(r io.Reader) (*Trace, error) {
+	return ReadAutoMax(r, 0)
+}
+
+// ReadAutoMax is ReadAuto bounded per the package-wide maxAccesses
+// convention (see CapReached).
+func ReadAutoMax(r io.Reader, maxAccesses int) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(2)
 	if err != nil {
@@ -36,13 +42,13 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		defer gz.Close()
-		return ReadBinary(gz)
+		return ReadBinaryMax(gz, maxAccesses)
 	}
 	headMagic, err := br.Peek(len(binaryMagic))
 	if err == nil && bytes.Equal(headMagic, binaryMagic[:]) {
-		return ReadBinary(br)
+		return ReadBinaryMax(br, maxAccesses)
 	}
-	return ReadText(br)
+	return ReadTextMax(br, maxAccesses)
 }
 
 // newGzipWriter is a small indirection so tests can build compressed

@@ -1,0 +1,259 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"glider/internal/trace"
+	"glider/internal/workload"
+)
+
+// writeChampSimFile materializes a small deterministic trace as a ChampSim
+// file and returns its path.
+func writeChampSimFile(t *testing.T, accesses int) string {
+	t.Helper()
+	spec, err := workload.Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.Generate(accesses, 42)
+	path := filepath.Join(t.TempDir(), "mcf.champsim")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChampSim(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseCanonicalization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"zipf(objects=100,skew=1.2)", "zipf(objects=100,skew=1.2)"},
+		{"zipf(skew=1.20,objects=100)", "zipf(objects=100,skew=1.2)"},
+		{"zipf(objects=100,skew=0.9,span=1,pcs=16)", "zipf(objects=100,skew=0.9)"}, // defaults elided
+		{"zipf(objects=100,skew=0.5,pcs=8,span=2)", "zipf(objects=100,skew=0.5,span=2,pcs=8)"},
+		{"zipf(objects=64,skew=0)", "zipf(objects=64,skew=0)"},
+		{"zipf(objects=64,skew=1,scan-every=1000)", "zipf(objects=64,skew=1,scan-every=1000)"},
+		{"zipf(objects=64,skew=1,scan-len=512,scan-every=1000)", "zipf(objects=64,skew=1,scan-every=1000)"}, // default scan-len elided
+		{"zipf(objects=64,skew=1,scan-every=1000,scan-len=64,churn-every=9)", "zipf(objects=64,skew=1,scan-every=1000,scan-len=64,churn-every=9)"},
+		{"mix(rr,mcf,libquantum)", "mix(rr,mcf,libquantum)"},
+		{"mix(poisson,mcf,libquantum)", "mix(poisson,mcf,libquantum,p=0.5)"}, // p always explicit
+		{"mix(poisson,mcf,libquantum,p=0.70)", "mix(poisson,mcf,libquantum,p=0.7)"},
+		{"mix(rr,zipf(skew=1.0,objects=32),mcf)", "mix(rr,zipf(objects=32,skew=1),mcf)"},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if spec.Name != c.want {
+			t.Fatalf("Parse(%q).Name = %q, want %q", c.in, spec.Name, c.want)
+		}
+		if spec.Suite != workload.Ingest {
+			t.Fatalf("Parse(%q).Suite = %q", c.in, spec.Suite)
+		}
+		// Canonicalization is a fixpoint: re-parsing the canonical name
+		// yields the same canonical name.
+		again, err := Parse(spec.Name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec.Name, err)
+		}
+		if again.Name != spec.Name {
+			t.Fatalf("fixpoint: Parse(%q).Name = %q", spec.Name, again.Name)
+		}
+	}
+}
+
+// TestCanonicalSpellingsGenerateIdentically: two spellings of one workload
+// are the same workload — identical canonical name, identical stream.
+func TestCanonicalSpellingsGenerateIdentically(t *testing.T) {
+	a, err := Parse("zipf(objects=256,skew=1.10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("zipf(skew=1.1,objects=256,span=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	ta, err := a.GenerateE(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.GenerateE(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, ta.Accesses, tb.Accesses)
+}
+
+func TestParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"",
+		"zipf",
+		"zipf(",
+		"zipf)",
+		"(objects=1)",
+		"zipf(objects=1,skew=1))",
+		"zipf(objects=1,skew=1",
+		"zipf(objects=1,skew=1,)",
+		"unknown(x=1)",
+		"zipf(objects=100)",                   // missing skew
+		"zipf(skew=1)",                        // missing objects
+		"zipf(objects=0,skew=1)",              // below min
+		"zipf(objects=99999999,skew=1)",       // above max
+		"zipf(objects=abc,skew=1)",            // not an int
+		"zipf(objects=100,skew=NaN)",          // NaN
+		"zipf(objects=100,skew=-0.1)",         // negative skew
+		"zipf(objects=100,skew=100)",          // above max skew
+		"zipf(objects=100,skew=1,skew=2)",     // duplicate key
+		"zipf(objects=100,skew=1,foo=2)",      // unknown key
+		"zipf(objects=100,skew=1,span=)",      // empty value
+		"zipf(objects=100,skew=1,scan-len=5)", // scan-len without scan-every
+		"mix(rr,mcf)",                         // missing member
+		"mix(fifo,mcf,libquantum)",            // unknown mode
+		"mix(rr,nosuchbench,libquantum)",      // unknown member
+		"mix(rr,mcf,libquantum,p=0.5)",        // p only valid for poisson
+		"mix(poisson,mcf,libquantum,p=0)",     // p out of (0,1)
+		"mix(poisson,mcf,libquantum,p=1)",     // p out of (0,1)
+		"mix(poisson,mcf,libquantum,p=x)",     // p not a number
+		"mix(poisson,mcf,libquantum,q=0.5)",   // unknown trailing arg
+		"mix(rr,mcf,libquantum,extra,extra)",
+		"mix(rr,mix(rr,mix(rr,mix(rr,mcf,mcf),mcf),mcf),mcf)", // too deep
+		"champsim()",
+		"champsim(file=/no/such/file)",
+		"champsim(file=" + dir + ")", // directory
+		"champsim(path=/tmp/x)",      // wrong key
+		"zipf(objects=1,skew=1)x",    // trailing garbage
+		strings.Repeat("x", maxSpecLen+1) + "(a)",
+	}
+	for _, in := range cases {
+		if spec, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) accepted as %q", in, spec.Name)
+		}
+	}
+}
+
+func TestParseChampSim(t *testing.T) {
+	path := writeChampSimFile(t, 200)
+	spec, err := Parse("champsim(file=" + path + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "champsim(file=" + path + ")"; spec.Name != want {
+		t.Fatalf("Name = %q, want %q", spec.Name, want)
+	}
+
+	// Exact-length materialization, deterministic across calls.
+	tr, err := spec.GenerateE(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("got %d accesses, want 150", tr.Len())
+	}
+	again, err := spec.GenerateE(150, 99) // seed is irrelevant for files
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, again.Accesses, tr.Accesses)
+
+	// A request longer than the file cycle-extends: access i repeats access
+	// i mod fileLen.
+	full, err := spec.GenerateE(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := full.Len()
+	long, err := spec.GenerateE(2*n+7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Len() != 2*n+7 {
+		t.Fatalf("got %d accesses, want %d", long.Len(), 2*n+7)
+	}
+	for i, a := range long.Accesses {
+		if a != full.Accesses[i%n] {
+			t.Fatalf("access %d != source access %d", i, i%n)
+		}
+	}
+}
+
+func TestParseChampSimEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.champsim")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse("champsim(file=" + path + ")")
+	if err != nil {
+		t.Fatal(err) // parse-time only stats the file
+	}
+	if _, err := spec.GenerateE(100, 1); err == nil {
+		t.Fatal("empty trace file accepted")
+	}
+}
+
+func TestResolveIngestSpecs(t *testing.T) {
+	// Registry names still resolve.
+	spec, err := workload.Resolve("mcf")
+	if err != nil || spec.Name != "mcf" {
+		t.Fatalf("Resolve(mcf) = %q, %v", spec.Name, err)
+	}
+	// Ingest specs resolve through the registered schemes.
+	spec, err = workload.Resolve("zipf(objects=64,skew=1)")
+	if err != nil || spec.Name != "zipf(objects=64,skew=1)" {
+		t.Fatalf("Resolve(zipf) = %q, %v", spec.Name, err)
+	}
+	if _, err := workload.Resolve("zipf(objects=64)"); err == nil {
+		t.Fatal("malformed spec resolved")
+	}
+	if _, err := workload.Resolve("nosuchthing(x=1)"); err == nil {
+		t.Fatal("unknown scheme resolved")
+	}
+	for _, want := range []string{"champsim", "mix", "zipf"} {
+		found := false
+		for _, s := range workload.Schemes() {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scheme %q not registered (have %v)", want, workload.Schemes())
+		}
+	}
+}
+
+// TestStoreCanonicalSharing: every spelling of a workload hits the same
+// store entry, and generation happens once.
+func TestStoreCanonicalSharing(t *testing.T) {
+	st := workload.NewStore(64 << 20)
+	a, err := workload.Resolve("zipf(objects=128,skew=0.9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Resolve("zipf(skew=0.90,objects=128,pcs=16)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := st.GetE(a, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := st.GetE(b, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Fatal("canonical spellings produced distinct cache entries")
+	}
+}

@@ -1,0 +1,209 @@
+package ingest
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"glider/internal/trace"
+)
+
+// Streaming ChampSim decode.
+//
+// trace.ReadChampSim materializes the whole access stream before returning,
+// which is fine for bounded imports but rules out multi-GB CRC2 traces. The
+// Scanner decodes the same format as an iterator: a fixed chunk buffer is
+// refilled from the source, records decode one at a time into a six-entry
+// pending array, and the caller pulls accesses with Scan/Access. Resident
+// memory is the chunk buffer plus (for compressed sources) gzip's ~64 KiB of
+// window state — independent of trace size. The decode is byte-identical to
+// the one-shot reader by construction (both expand records through
+// trace.DecodeChampSimRecord) and by the differential and fuzz suites in
+// stream_test.go, including error parity on truncated and corrupt tails.
+
+// chunkBytes is the Scanner's fixed read-buffer size: 4096 records. This is
+// the dominant term of the Scanner's resident footprint (ScannerBufferBytes).
+const chunkBytes = 4096 * trace.ChampSimRecordSize
+
+// ScannerBufferBytes is the fixed buffer footprint of one raw Scanner, for
+// callers that want to reason about streaming memory by chunk-size math.
+const ScannerBufferBytes = chunkBytes
+
+// Scanner streams the accesses of a ChampSim instruction trace.
+//
+//	sc := ingest.NewScanner(r)
+//	for sc.Scan() {
+//		a := sc.Access()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	src    io.Reader
+	gz     *gzip.Reader
+	buf    []byte
+	bufPos int
+	bufN   int
+	// srcErr holds the source's terminal error (io.EOF included) until the
+	// buffered bytes ahead of it are consumed: a Read that returns data and
+	// an error together must not hide records the one-shot reader would
+	// still have decoded.
+	srcErr  error
+	pending [trace.ChampSimMaxAccesses]trace.Access
+	pendPos int
+	pendN   int
+	cur     trace.Access
+	emitted int
+	err     error
+	done    bool
+}
+
+// NewScanner streams a raw (uncompressed) ChampSim trace from r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{src: r, buf: make([]byte, chunkBytes)}
+}
+
+// NewScannerGzip streams a gzip-compressed ChampSim trace from r. The error
+// on a non-gzip source matches trace.ReadChampSimGzip's.
+func NewScannerGzip(r io.Reader) (*Scanner, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening gzip ChampSim trace: %w", err)
+	}
+	s := NewScanner(gz)
+	s.gz = gz
+	return s, nil
+}
+
+// NewScannerAuto sniffs the leading bytes of r and streams it as a gzip or
+// raw ChampSim trace accordingly. An empty source is a valid empty trace.
+func NewScannerAuto(r io.Reader) (*Scanner, error) {
+	var head [2]byte
+	n, err := io.ReadFull(r, head[:])
+	if err == io.EOF {
+		return NewScanner(r), nil // empty: scanner yields no accesses
+	}
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	joined := io.MultiReader(newByteReader(head[:n]), r)
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		return NewScannerGzip(joined)
+	}
+	if n == 2 && head[0] == 0xfd && head[1] == '7' {
+		// CRC2 distributes traces as .xz; decoding one as raw records would
+		// silently produce garbage accesses.
+		return nil, fmt.Errorf("trace: xz-compressed ChampSim trace; decompress externally first (xz -d)")
+	}
+	return NewScanner(joined), nil
+}
+
+// newByteReader avoids bytes.NewReader's extra state for a two-byte prefix.
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// Scan advances to the next access. It returns false at the end of the
+// trace or on error; distinguish via Err.
+func (s *Scanner) Scan() bool {
+	for {
+		if s.pendPos < s.pendN {
+			s.cur = s.pending[s.pendPos]
+			s.pendPos++
+			s.emitted++
+			return true
+		}
+		rec, ok := s.nextRecord()
+		if !ok {
+			return false
+		}
+		accs := trace.DecodeChampSimRecord(rec, s.pending[:0])
+		s.pendPos, s.pendN = 0, len(accs)
+		// Records with no memory operands contribute nothing; keep reading.
+	}
+}
+
+// Access returns the access produced by the last successful Scan.
+func (s *Scanner) Access() trace.Access { return s.cur }
+
+// Emitted returns the number of accesses produced so far.
+func (s *Scanner) Emitted() int { return s.emitted }
+
+// Err returns the first error encountered (nil at clean EOF). A truncated
+// final record yields the same error as trace.ReadChampSim would.
+func (s *Scanner) Err() error { return s.err }
+
+// nextRecord pulls the next 64-byte record out of the chunk buffer,
+// refilling it from the source when fewer than a record's worth remain.
+func (s *Scanner) nextRecord() (rec [trace.ChampSimRecordSize]byte, ok bool) {
+	if s.err != nil || s.done {
+		return rec, false
+	}
+	if s.bufN-s.bufPos < trace.ChampSimRecordSize {
+		rem := copy(s.buf, s.buf[s.bufPos:s.bufN])
+		s.bufPos, s.bufN = 0, rem
+		for s.bufN < trace.ChampSimRecordSize && s.srcErr == nil {
+			n, err := s.src.Read(s.buf[s.bufN:])
+			s.bufN += n
+			s.srcErr = err
+		}
+		if s.bufN < trace.ChampSimRecordSize {
+			// The source is exhausted mid-record. Error parity with the
+			// one-shot reader's io.ReadFull: clean EOF on a record boundary
+			// ends the trace, EOF inside a record is a truncation at the
+			// current access count, and any other source error passes
+			// through unchanged.
+			switch {
+			case s.srcErr == io.EOF && s.bufN == 0:
+				s.done = true
+			case s.srcErr == io.EOF:
+				s.err = fmt.Errorf("trace: truncated ChampSim record at access %d", s.emitted)
+			default:
+				s.err = s.srcErr
+			}
+			return rec, false
+		}
+	}
+	copy(rec[:], s.buf[s.bufPos:s.bufPos+trace.ChampSimRecordSize])
+	s.bufPos += trace.ChampSimRecordSize
+	return rec, true
+}
+
+// Collect materializes the stream into a trace, bounded per the trace
+// package's maxAccesses convention (≤ 0 unlimited, positive bound exact). It
+// matches the one-shot readers access for access, including their behavior
+// of not reading — and therefore not validating — input past the bound.
+func (s *Scanner) Collect(name string, maxAccesses int) (*trace.Trace, error) {
+	capHint := 1 << 16
+	if maxAccesses > 0 && maxAccesses < capHint {
+		capHint = maxAccesses
+	}
+	t := trace.New(name, capHint)
+	for !trace.CapReached(t.Len(), maxAccesses) && s.Scan() {
+		t.Append(s.Access())
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadChampSimStream is the streaming equivalent of trace.ReadChampSim /
+// trace.ReadChampSimGzip with container auto-detection: it decodes through a
+// Scanner (bounded memory while reading) and materializes at most
+// maxAccesses accesses.
+func ReadChampSimStream(r io.Reader, name string, maxAccesses int) (*trace.Trace, error) {
+	sc, err := NewScannerAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Collect(name, maxAccesses)
+}

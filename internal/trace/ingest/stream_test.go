@@ -1,0 +1,466 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"glider/internal/trace"
+)
+
+// readFixture loads a testdata file.
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return b
+}
+
+// goldenAccesses parses mini.golden: one "pc addr kind" line per access,
+// produced by the independent fixture generator (not by this package).
+func goldenAccesses(t *testing.T) []trace.Access {
+	t.Helper()
+	var out []trace.Access
+	sc := bufio.NewScanner(bytes.NewReader(readFixture(t, "mini.golden")))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 3 {
+			t.Fatalf("golden line %q", sc.Text())
+		}
+		pc, err := strconv.ParseUint(f[0], 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := strconv.ParseUint(f[1], 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := trace.Load
+		if f[2] == "store" {
+			kind = trace.Store
+		}
+		out = append(out, trace.Access{PC: pc, Addr: addr, Kind: kind})
+	}
+	return out
+}
+
+func sameAccesses(t *testing.T, got, want []trace.Access) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d accesses, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("access %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScannerGoldenFixture(t *testing.T) {
+	want := goldenAccesses(t)
+	if len(want) != 15 {
+		t.Fatalf("golden fixture has %d accesses, want 15", len(want))
+	}
+	for name, mk := range map[string]func() (*Scanner, error){
+		"raw":      func() (*Scanner, error) { return NewScanner(bytes.NewReader(readFixture(t, "mini.champsim"))), nil },
+		"gzip":     func() (*Scanner, error) { return NewScannerGzip(bytes.NewReader(readFixture(t, "mini.champsim.gz"))) },
+		"auto-raw": func() (*Scanner, error) { return NewScannerAuto(bytes.NewReader(readFixture(t, "mini.champsim"))) },
+		"auto-gz":  func() (*Scanner, error) { return NewScannerAuto(bytes.NewReader(readFixture(t, "mini.champsim.gz"))) },
+	} {
+		sc, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got []trace.Access
+		for sc.Scan() {
+			got = append(got, sc.Access())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameAccesses(t, got, want)
+		if sc.Emitted() != len(want) {
+			t.Fatalf("%s: Emitted() = %d, want %d", name, sc.Emitted(), len(want))
+		}
+	}
+}
+
+// diffOneShot runs the streaming and one-shot decoders over the same bytes
+// and requires identical traces and identical errors.
+func diffOneShot(t *testing.T, data []byte, gz bool, maxAccesses int) {
+	t.Helper()
+	var want *trace.Trace
+	var wantErr error
+	if gz {
+		want, wantErr = trace.ReadChampSimGzip(bytes.NewReader(data), "w", maxAccesses)
+	} else {
+		want, wantErr = trace.ReadChampSim(bytes.NewReader(data), "w", maxAccesses)
+	}
+	got, gotErr := ReadChampSimStream(bytes.NewReader(data), "w", maxAccesses)
+
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("max=%d gz=%v: stream err %v, one-shot err %v", maxAccesses, gz, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("max=%d gz=%v: stream err %q, one-shot err %q", maxAccesses, gz, gotErr, wantErr)
+		}
+		return
+	}
+	if got.Name != want.Name {
+		t.Fatalf("name %q vs %q", got.Name, want.Name)
+	}
+	sameAccesses(t, got.Accesses, want.Accesses)
+}
+
+// randomChampSim builds a seeded random record stream exercising every slot
+// combination, including records with no memory operands and junk in the
+// ignored instruction-info bytes.
+func randomChampSim(r *rand.Rand, records int) []byte {
+	buf := make([]byte, 0, records*trace.ChampSimRecordSize)
+	var rec [trace.ChampSimRecordSize]byte
+	for i := 0; i < records; i++ {
+		for j := range rec {
+			rec[j] = byte(r.Intn(256)) // junk everywhere first
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], r.Uint64())
+		for j := 0; j < 2; j++ {
+			a := uint64(0)
+			if r.Intn(3) == 0 {
+				a = r.Uint64() | 1
+			}
+			binary.LittleEndian.PutUint64(rec[16+8*j:24+8*j], a)
+		}
+		for j := 0; j < 4; j++ {
+			a := uint64(0)
+			if r.Intn(2) == 0 {
+				a = r.Uint64() | 1
+			}
+			binary.LittleEndian.PutUint64(rec[32+8*j:40+8*j], a)
+		}
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	gw := gzip.NewWriter(&b)
+	if _, err := gw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func TestStreamVsOneShotDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	caps := []int{-1, 0, 1, 5, 64, 1 << 20}
+	for _, records := range []int{0, 1, 2, 7, 100, 5000} {
+		data := randomChampSim(r, records)
+		for _, cut := range []int{0, 1, 17, 63} { // bytes chopped off the tail
+			if cut > len(data) {
+				continue
+			}
+			chopped := data[:len(data)-cut]
+			for _, max := range caps {
+				diffOneShot(t, chopped, false, max)
+				diffOneShot(t, gzipBytes(t, chopped), true, max)
+			}
+		}
+	}
+}
+
+func TestStreamVsOneShotGoldenFixtures(t *testing.T) {
+	for _, max := range []int{-1, 0, 3, 15, 100} {
+		diffOneShot(t, readFixture(t, "mini.champsim"), false, max)
+		diffOneShot(t, readFixture(t, "mini.champsim.gz"), true, max)
+	}
+	// Truncated tail: both decoders report the same truncation error...
+	diffOneShot(t, readFixture(t, "truncated.champsim"), false, 0)
+	// ...unless the cap stops both before they reach the corrupt tail.
+	diffOneShot(t, readFixture(t, "truncated.champsim"), false, 3)
+	// Corrupt gzip body: identical error pass-through.
+	diffOneShot(t, readFixture(t, "corrupt.champsim.gz"), true, 0)
+}
+
+func TestTruncatedErrorMessage(t *testing.T) {
+	_, err := ReadChampSimStream(bytes.NewReader(readFixture(t, "truncated.champsim")), "w", 0)
+	if err == nil || !strings.Contains(err.Error(), "truncated ChampSim record at access") {
+		t.Fatalf("err = %v, want truncation error", err)
+	}
+}
+
+func TestScannerAutoEmpty(t *testing.T) {
+	tr, err := ReadChampSimStream(bytes.NewReader(nil), "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Accesses) != 0 {
+		t.Fatalf("got %d accesses from empty source", len(tr.Accesses))
+	}
+}
+
+func TestScannerAutoRejectsXZ(t *testing.T) {
+	_, err := NewScannerAuto(bytes.NewReader([]byte{0xfd, '7', 'z', 'X', 'Z', 0x00}))
+	if err == nil || !strings.Contains(err.Error(), "xz") {
+		t.Fatalf("err = %v, want xz rejection", err)
+	}
+}
+
+func TestScannerGzipRejectsRaw(t *testing.T) {
+	_, gotErr := NewScannerGzip(bytes.NewReader(readFixture(t, "mini.champsim")))
+	_, wantErr := trace.ReadChampSimGzip(bytes.NewReader(readFixture(t, "mini.champsim")), "w", 0)
+	if gotErr == nil || wantErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("stream err %v, one-shot err %v", gotErr, wantErr)
+	}
+}
+
+// stutterReader returns one byte per Read call, then the wrapped error —
+// the worst-case refill pattern.
+type stutterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *stutterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	p[0] = r.data[0]
+	r.data = r.data[1:]
+	return 1, nil
+}
+
+// tailErrReader returns all data and a non-EOF error in the SAME Read call.
+type tailErrReader struct {
+	data []byte
+	err  error
+	done bool
+}
+
+func (r *tailErrReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	if len(r.data) == 0 {
+		r.done = true
+		return n, r.err
+	}
+	return n, nil
+}
+
+func TestScannerSourceErrorParity(t *testing.T) {
+	data := readFixture(t, "mini.champsim")
+	boom := errors.New("disk on fire")
+
+	for name, mk := range map[string]func() io.Reader{
+		"stutter":  func() io.Reader { return &stutterReader{data: data, err: boom} },
+		"tail-err": func() io.Reader { return &tailErrReader{data: data, err: boom} },
+	} {
+		want, wantErr := trace.ReadChampSim(mk(), "w", 0)
+		got, gotErr := ReadChampSimStream(mk(), "w", 0)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: stream err %v, one-shot err %v", name, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%s: stream err %q, one-shot err %q", name, gotErr, wantErr)
+			}
+			continue
+		}
+		sameAccesses(t, got.Accesses, want.Accesses)
+	}
+
+	// A mid-stream error must surface only after the buffered records ahead
+	// of it are decoded — same as the one-shot reader's bufio behavior.
+	src := &tailErrReader{data: data, err: boom}
+	sc := NewScanner(src)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 15 {
+		t.Fatalf("decoded %d accesses before error, want all 15", n)
+	}
+	if sc.Err() != boom {
+		t.Fatalf("Err() = %v, want %v", sc.Err(), boom)
+	}
+}
+
+// syntheticReader procedurally serves `records` ChampSim records without
+// ever materializing them: record i has ip = i*8+4096 and a single load at
+// block i%(1<<20)+1 (never zero — a zero slot means "no operand"). Memory
+// use is O(1) regardless of trace size.
+type syntheticReader struct {
+	records int
+	pos     int64 // byte offset into the virtual stream
+	rec     [trace.ChampSimRecordSize]byte
+}
+
+func (r *syntheticReader) fill(i int64) {
+	for j := range r.rec {
+		r.rec[j] = 0
+	}
+	binary.LittleEndian.PutUint64(r.rec[0:8], uint64(i*8+4096))
+	binary.LittleEndian.PutUint64(r.rec[32:40], (uint64(i)%(1<<20)+1)<<trace.BlockShift)
+}
+
+func (r *syntheticReader) Read(p []byte) (int, error) {
+	total := int64(r.records) * trace.ChampSimRecordSize
+	if r.pos >= total {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && r.pos < total {
+		i := r.pos / trace.ChampSimRecordSize
+		off := int(r.pos % trace.ChampSimRecordSize)
+		r.fill(i)
+		c := copy(p[n:], r.rec[off:])
+		n += c
+		r.pos += int64(c)
+	}
+	return n, nil
+}
+
+// TestScannerBoundedMemory is the tentpole acceptance test: a 256 MiB
+// synthetic ChampSim trace streams through the Scanner within a fixed
+// allocation budget, and the decode agrees with independently computed
+// expected values plus the one-shot reader on a prefix.
+func TestScannerBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256 MiB scan in -short mode")
+	}
+	const records = 4 << 20 // 4 Mi records × 64 B = 256 MiB of trace
+	const traceBytes = records * trace.ChampSimRecordSize
+	if traceBytes != 256<<20 {
+		t.Fatalf("trace is %d bytes, want 256 MiB", traceBytes)
+	}
+
+	sc := NewScanner(&syntheticReader{records: records})
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var count int
+	var pcSum, addrSum uint64
+	for sc.Scan() {
+		a := sc.Access()
+		pcSum += a.PC
+		addrSum += a.Addr
+		count++
+	}
+	runtime.ReadMemStats(&after)
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Allocation budget: the scanner's fixed chunk buffer plus slack for the
+	// test harness itself — well under 1% of the trace size. A decoder that
+	// materialized the stream would allocate ≥ 96 MiB (4 Mi × 24 B accesses).
+	alloc := after.TotalAlloc - before.TotalAlloc
+	budget := uint64(4*ScannerBufferBytes + 1<<20)
+	if alloc > budget {
+		t.Fatalf("scan allocated %d bytes, budget %d (chunk buffer is %d)", alloc, budget, ScannerBufferBytes)
+	}
+
+	// Independent expectations straight from the generator formulas.
+	if count != records {
+		t.Fatalf("decoded %d accesses, want %d", count, records)
+	}
+	var wantPC, wantAddr uint64
+	for i := int64(0); i < records; i++ {
+		wantPC += uint64(i*8 + 4096)
+		wantAddr += (uint64(i)%(1<<20) + 1) << trace.BlockShift
+	}
+	if pcSum != wantPC || addrSum != wantAddr {
+		t.Fatalf("checksums (pc=%d, addr=%d), want (pc=%d, addr=%d)", pcSum, addrSum, wantPC, wantAddr)
+	}
+
+	// Prefix byte-identity against the one-shot reader.
+	const prefix = 100_000
+	got, err := ReadChampSimStream(&syntheticReader{records: records}, "w", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.ReadChampSim(&syntheticReader{records: records}, "w", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, got.Accesses, want.Accesses)
+}
+
+func TestCollectRespectsCapConvention(t *testing.T) {
+	data := randomChampSim(rand.New(rand.NewSource(1)), 50)
+	full, err := ReadChampSimStream(bytes.NewReader(data), "w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, max := range []int{-3, 0} { // ≤ 0 means unlimited
+		tr, err := ReadChampSimStream(bytes.NewReader(data), "w", max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAccesses(t, tr.Accesses, full.Accesses)
+	}
+	for _, max := range []int{1, 2, 3, 7, len(full.Accesses) - 1} {
+		tr, err := ReadChampSimStream(bytes.NewReader(data), "w", max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Accesses) != max {
+			t.Fatalf("max=%d: got %d accesses", max, len(tr.Accesses))
+		}
+		sameAccesses(t, tr.Accesses, full.Accesses[:max])
+	}
+}
+
+// TestCapStopsReading proves neither decoder validates input past the bound:
+// a corrupt tail beyond the cap is silently irrelevant on both paths.
+func TestCapStopsReading(t *testing.T) {
+	data := randomChampSim(rand.New(rand.NewSource(2)), 10)
+	corrupt := append(append([]byte{}, data...), 0xDE, 0xAD) // partial record tail
+	for _, max := range []int{1, 5} {
+		diffOneShot(t, corrupt, false, max)
+		tr, err := ReadChampSimStream(bytes.NewReader(corrupt), "w", max)
+		if err != nil {
+			t.Fatalf("max=%d: %v", max, err)
+		}
+		if len(tr.Accesses) != max {
+			t.Fatalf("max=%d: got %d accesses", max, len(tr.Accesses))
+		}
+	}
+}
+
+func BenchmarkScanner(b *testing.B) {
+	data := randomChampSim(rand.New(rand.NewSource(3)), 1<<16)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"glider/internal/trace"
+)
+
+// testSpecTrace builds a tiny deterministic trace for Custom specs.
+func testSpecTrace(name string, n int) *trace.Trace {
+	t := trace.New(name, n)
+	for i := 0; i < n; i++ {
+		t.Append(trace.Access{PC: uint64(i), Addr: uint64(i) << trace.BlockShift, Kind: trace.Load})
+	}
+	return t
+}
+
+func TestRegisterSchemeAndResolve(t *testing.T) {
+	RegisterScheme("resolvetest", func(spec string) (Spec, error) {
+		if spec != "resolvetest(ok)" {
+			return Spec{}, fmt.Errorf("bad spec %q", spec)
+		}
+		return Custom("resolvetest(ok)", Ingest, func(n int, seed int64) (*trace.Trace, error) {
+			return testSpecTrace("resolvetest(ok)", n), nil
+		}), nil
+	})
+
+	spec, err := Resolve("resolvetest(ok)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "resolvetest(ok)" || spec.Suite != Ingest {
+		t.Fatalf("spec = %+v", spec)
+	}
+	tr, err := spec.GenerateE(10, 1)
+	if err != nil || tr.Len() != 10 {
+		t.Fatalf("GenerateE: %v, len %d", err, tr.Len())
+	}
+
+	if _, err := Resolve("resolvetest(bad)"); err == nil {
+		t.Fatal("resolver error swallowed")
+	}
+
+	found := false
+	for _, s := range Schemes() {
+		if s == "resolvetest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Schemes() = %v missing resolvetest", Schemes())
+	}
+}
+
+func TestRegisterSchemeDuplicatePanics(t *testing.T) {
+	RegisterScheme("resolvetest-dup", func(string) (Spec, error) { return Spec{}, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterScheme("resolvetest-dup", func(string) (Spec, error) { return Spec{}, nil })
+}
+
+func TestResolveRegistryNameWins(t *testing.T) {
+	spec, err := Resolve("mcf")
+	if err != nil || spec.Name != "mcf" {
+		t.Fatalf("Resolve(mcf) = %q, %v", spec.Name, err)
+	}
+}
+
+func TestResolveRejectsNonSpecNames(t *testing.T) {
+	for _, name := range []string{"", "nosuch", "(x)", "noscheme)", "unregistered(x)"} {
+		if _, err := Resolve(name); err == nil {
+			t.Fatalf("Resolve(%q) succeeded", name)
+		}
+	}
+	// Unknown plain names keep the registry's error type.
+	var unknown ErrUnknown
+	if _, err := Resolve("nosuch"); !errors.As(err, &unknown) {
+		t.Fatalf("Resolve(nosuch) error %v, want ErrUnknown", err)
+	}
+}
+
+func TestCustomGeneratePanicsOnError(t *testing.T) {
+	spec := Custom("failing(x)", Ingest, func(n int, seed int64) (*trace.Trace, error) {
+		return nil, errors.New("nope")
+	})
+	if _, err := spec.GenerateE(5, 1); err == nil {
+		t.Fatal("GenerateE swallowed the error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate did not panic on error")
+		}
+	}()
+	spec.Generate(5, 1)
+}
+
+// TestStoreDoesNotCacheFailures: a failed generation reaches every waiter
+// but is forgotten — the next Get retries and can succeed.
+func TestStoreDoesNotCacheFailures(t *testing.T) {
+	calls := 0
+	spec := Custom("flaky(x)", Ingest, func(n int, seed int64) (*trace.Trace, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return testSpecTrace("flaky(x)", n), nil
+	})
+	st := NewStore(64 << 20)
+	if _, err := st.GetE(spec, 100, 1); err == nil || !strings.Contains(err.Error(), "transient") {
+		t.Fatalf("first GetE err = %v", err)
+	}
+	tr, err := st.GetE(spec, 100, 1)
+	if err != nil {
+		t.Fatalf("second GetE failed: %v (failure was cached)", err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("got %d accesses", tr.Len())
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2", calls)
+	}
+	// The successful generation IS cached.
+	again, err := st.GetE(spec, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tr {
+		t.Fatal("successful generation not cached")
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times after hit, want 2", calls)
+	}
+}
+
+func TestStoreCanonicalNameIsIdentity(t *testing.T) {
+	// Two Spec values with the same Name are one cache entry, whatever
+	// closure they carry — the canonical name is the identity.
+	mk := func() Spec {
+		return Custom("samename(x)", Ingest, func(n int, seed int64) (*trace.Trace, error) {
+			return testSpecTrace("samename(x)", n), nil
+		})
+	}
+	st := NewStore(64 << 20)
+	a, err := st.GetE(mk(), 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.GetE(mk(), 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same canonical name produced two entries")
+	}
+	stats := st.Stats()
+	if stats.Misses != 1 || stats.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", stats)
+	}
+}
+
+func TestSharedEPropagatesErrors(t *testing.T) {
+	spec := Custom("alwaysfails(x)", Ingest, func(n int, seed int64) (*trace.Trace, error) {
+		return nil, errors.New("boom")
+	})
+	if _, err := SharedE(spec, 10, 1); err == nil {
+		t.Fatal("SharedE swallowed the error")
+	}
+}

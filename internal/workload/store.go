@@ -14,6 +14,7 @@ package workload
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"glider/internal/trace"
@@ -42,13 +43,14 @@ type StoreStats struct {
 	Evictions uint64
 }
 
-// storeEntry is one cached trace. ready is closed when tr is populated; Gets
-// that find an in-flight entry block on it, and the close gives them a
-// happens-before edge on the generation's writes, so the shared trace is
-// race-free without further locking.
+// storeEntry is one cached trace. ready is closed when tr (or err) is
+// populated; Gets that find an in-flight entry block on it, and the close
+// gives them a happens-before edge on the generation's writes, so the shared
+// trace is race-free without further locking.
 type storeEntry struct {
 	ready   chan struct{}
 	tr      *trace.Trace
+	err     error
 	bytes   int64
 	lruElem *list.Element
 	evicted bool
@@ -80,8 +82,21 @@ func NewStore(maxBytes int64) *Store {
 
 // Get returns the trace for (spec, n, seed), generating it at most once per
 // key no matter how many goroutines ask concurrently. The returned trace is
-// shared and must be treated as read-only.
+// shared and must be treated as read-only. For custom specs with fallible
+// sources Get panics on generation failure; such callers should use GetE.
 func (s *Store) Get(spec Spec, n int, seed int64) *trace.Trace {
+	tr, err := s.GetE(spec, n, seed)
+	if err != nil {
+		panic(fmt.Sprintf("workload: generating %q: %v", spec.Name, err))
+	}
+	return tr
+}
+
+// GetE is Get with error reporting. A failed generation is never cached: the
+// entry is dropped under the lock before waiters are released, so the next
+// GetE for the key retries the source (every concurrent waiter on the failed
+// flight receives the same error).
+func (s *Store) GetE(spec Spec, n int, seed int64) (*trace.Trace, error) {
 	key := StoreKey{Name: spec.Name, N: n, Seed: seed}
 
 	s.mu.Lock()
@@ -92,7 +107,7 @@ func (s *Store) Get(spec Spec, n int, seed int64) *trace.Trace {
 		}
 		s.mu.Unlock()
 		<-e.ready
-		return e.tr
+		return e.tr, e.err
 	}
 	e := &storeEntry{ready: make(chan struct{})}
 	s.entries[key] = e
@@ -100,9 +115,16 @@ func (s *Store) Get(spec Spec, n int, seed int64) *trace.Trace {
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	tr := spec.Generate(n, seed)
+	tr, err := spec.GenerateE(n, seed)
 
 	s.mu.Lock()
+	if err != nil {
+		e.err = err
+		s.removeLocked(key)
+		s.mu.Unlock()
+		close(e.ready)
+		return nil, err
+	}
 	e.tr = tr
 	e.bytes = int64(tr.Len()) * accessBytes
 	// The entry may have been evicted while generating (Release, or LRU
@@ -114,7 +136,7 @@ func (s *Store) Get(spec Spec, n int, seed int64) *trace.Trace {
 	}
 	s.mu.Unlock()
 	close(e.ready)
-	return tr
+	return tr, nil
 }
 
 // evictOverLocked drops least-recently-used entries until the store is back
@@ -208,7 +230,14 @@ var DefaultStore = NewStore(defaultStoreMaxBytes)
 
 // Shared returns spec.Generate(n, seed) through DefaultStore: identical
 // contents, generated once per key process-wide, shared read-only across
-// callers.
+// callers. It panics if a fallible custom source fails; use SharedE for
+// ingested workloads.
 func Shared(spec Spec, n int, seed int64) *trace.Trace {
 	return DefaultStore.Get(spec, n, seed)
+}
+
+// SharedE is Shared with error reporting, for specs backed by fallible
+// sources (ChampSim files, nested mixes).
+func SharedE(spec Spec, n int, seed int64) (*trace.Trace, error) {
+	return DefaultStore.GetE(spec, n, seed)
 }

@@ -28,6 +28,10 @@ const (
 	SPEC2006 Suite = "SPEC06"
 	SPEC2017 Suite = "SPEC17"
 	GAP      Suite = "GAP"
+	// Ingest marks workloads built by internal/trace/ingest from external
+	// sources (ChampSim trace files, Zipf object streams, multi-tenant
+	// mixes) rather than from the synthetic benchmark registry.
+	Ingest Suite = "INGEST"
 )
 
 // component pairs an emitter constructor with a scheduling weight.
@@ -36,9 +40,14 @@ type component struct {
 	build  func(pcBase, addrBase uint64) emitter
 }
 
-// Spec describes one synthetic benchmark.
+// Spec describes one workload: either a synthetic benchmark composed from
+// access-pattern components, or a custom workload (see Custom) whose trace
+// comes from an arbitrary — possibly fallible — generator function.
 type Spec struct {
-	// Name is the benchmark name as it appears in the paper's figures.
+	// Name is the benchmark name as it appears in the paper's figures, or
+	// the canonical spec string for custom workloads. Name is the cache
+	// identity in Store: two Specs with equal names must generate equal
+	// traces for every (n, seed).
 	Name string
 	// Suite is the benchmark suite.
 	Suite Suite
@@ -48,11 +57,36 @@ type Spec struct {
 	// profiles every phaseLen accesses, modeling time-varying behaviour.
 	phased   bool
 	phaseLen int
+	// generate, when non-nil, replaces the component mixer. It must be
+	// deterministic in (n, seed) but may fail (e.g. a trace file source).
+	generate func(n int, seed int64) (*trace.Trace, error)
+}
+
+// Custom builds a Spec around an arbitrary generator function. The generator
+// must be deterministic in (n, seed); it may fail, so callers of custom
+// specs should prefer GenerateE/SharedE over Generate/Shared.
+func Custom(name string, suite Suite, gen func(n int, seed int64) (*trace.Trace, error)) Spec {
+	return Spec{Name: name, Suite: suite, generate: gen}
 }
 
 // Generate produces a deterministic trace of n accesses for the spec using
 // the given seed. The same (spec, n, seed) always yields the same trace.
+// For custom specs with fallible sources it panics on generation failure;
+// such callers should use GenerateE.
 func (s Spec) Generate(n int, seed int64) *trace.Trace {
+	t, err := s.GenerateE(n, seed)
+	if err != nil {
+		panic(fmt.Sprintf("workload: generating %q: %v", s.Name, err))
+	}
+	return t
+}
+
+// GenerateE is Generate with error reporting: registry specs never fail, but
+// custom specs (ChampSim files, nested mixes) can.
+func (s Spec) GenerateE(n int, seed int64) (*trace.Trace, error) {
+	if s.generate != nil {
+		return s.generate(n, seed)
+	}
 	r := rand.New(rand.NewSource(seed ^ int64(hashName(s.Name))))
 	// Give each component its own PC and address regions so patterns never
 	// collide.
@@ -68,7 +102,7 @@ func (s Spec) Generate(n int, seed int64) *trace.Trace {
 	}
 	t := trace.New(s.Name, n)
 	if total == 0 || len(emitters) == 0 {
-		return t
+		return t, nil
 	}
 	phase := 0
 	for i := 0; i < n; i++ {
@@ -78,7 +112,7 @@ func (s Spec) Generate(n int, seed int64) *trace.Trace {
 		idx := pickWeighted(r, weights, total, phase, len(emitters))
 		t.Append(emitters[idx].next(r))
 	}
-	return t
+	return t, nil
 }
 
 // pickWeighted selects a component index by weight. In phase 1 the weights
