@@ -28,7 +28,9 @@ bench: bench-sim
 # hierarchy/trace-generation microbenchmarks) and records BENCH_sim.json —
 # the evidence file for hot-path optimization claims.
 bench-sim:
-	$(GO) test -run XXX -bench 'BenchmarkRunTable2Parallel|BenchmarkFig11Sweep|BenchmarkHierarchyAccess|BenchmarkTraceGenerate' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) test -run XXX -bench 'BenchmarkRunTable2Parallel|BenchmarkFig11Sweep|BenchmarkHierarchyAccess|BenchmarkTraceGenerate' -benchmem . > /tmp/bench_sim_root.txt
+	$(GO) test -run XXX -bench 'BenchmarkFRDAccess|BenchmarkMSAAccess|BenchmarkHawkeyeAccess|BenchmarkGliderAccess' -benchmem ./internal/policy/ > /tmp/bench_sim_policy.txt
+	cat /tmp/bench_sim_root.txt /tmp/bench_sim_policy.txt | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
 # bench-smoke compiles and runs every benchmark exactly once — a fast CI
 # check that the benchmarks themselves still work, with no timing claims.
@@ -60,6 +62,8 @@ fuzz-smoke:
 	$(GO) test ./internal/server/ -run '^FuzzJobSpecDecode$$' -fuzz '^FuzzJobSpecDecode$$' -fuzztime 10s
 	$(GO) test ./internal/server/ -run '^FuzzJobHash$$' -fuzz '^FuzzJobHash$$' -fuzztime 10s
 	$(GO) test ./internal/gateway/ -run '^FuzzRingChurn$$' -fuzz '^FuzzRingChurn$$' -fuzztime 10s
+	$(GO) test ./internal/policy/ -run '^FuzzFRDAccess$$' -fuzz '^FuzzFRDAccess$$' -fuzztime 10s
+	$(GO) test ./internal/policy/ -run '^FuzzMSAAccess$$' -fuzz '^FuzzMSAAccess$$' -fuzztime 10s
 
 # server-smoke runs the gliderd service layer and its typed client under the
 # race detector — the fast (-short) subset, mirroring CI's server-smoke job.

@@ -6,9 +6,11 @@
 //
 // where <experiment> is any of: table1 table2 table3 table4 fig4 fig5 fig6
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations extension lineage zoo
-// all. The zoo experiment sweeps the scenario zoo (Zipf object streams,
-// multi-tenant mixes, ingested ChampSim traces) and accepts repeatable
-// -zoo-spec flags to choose scenarios.
+// learned all. The zoo experiment sweeps the scenario zoo (Zipf object
+// streams, multi-tenant mixes, ingested ChampSim traces) and accepts
+// repeatable -zoo-spec flags to choose scenarios; learned sweeps the
+// learned-replacement comparison set (LRU, Hawkeye, Glider, FRD, MSA) over
+// the Table 2 benchmarks.
 //
 // fig11 and fig12 share simulation runs and are emitted together.
 package main
@@ -119,11 +121,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|learned|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "table3", "table4", "ablations", "extension", "lineage", "zoo"}
+		args = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig13", "fig14", "fig15", "table3", "table4", "ablations", "extension", "lineage", "zoo", "learned"}
 	}
 
 	for _, name := range args {
@@ -174,6 +176,12 @@ func run(name string, cfg experiments.Config, zooSpecs []string, asJSON bool) er
 			return err
 		}
 		return emit(name, z, asJSON)
+	case "learned":
+		l, err := experiments.RunLearned(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(name, l, asJSON)
 	case "table1":
 		return emit(name, experiments.RunTable1(), asJSON)
 	case "table2":

@@ -206,8 +206,9 @@ type FunctionalResult struct {
 }
 
 // FriendlyPredictor is implemented by policies whose predictor can be
-// queried for a cache-friendly/averse classification (Hawkeye, Glider) —
-// used by the Figure 10 accuracy experiment.
+// queried for a cache-friendly/averse classification (Hawkeye, Glider, and
+// the reuse-distance family FRD/MSA) — used by the Figure 10 accuracy
+// experiment and gliderd's /v1/predict.
 type FriendlyPredictor interface {
 	PredictFriendly(pc uint64, core uint8) bool
 }

@@ -89,8 +89,14 @@ type ISVMRow struct {
 	Weights []int8 `json:"weights"`
 }
 
+// ModelRow is one per-PC introspection row of a learned reuse-distance
+// model (FRD, MSA): error histogram plus current predicted buckets. The
+// alias keeps the policy package's JSON field names as the wire contract.
+type ModelRow = policy.ModelRow
+
 // PredictResult reports a prediction query: the per-PC verdicts of a trained
-// predictor and, for Glider, the most-trained ISVM weight rows.
+// predictor plus model introspection — Glider's most-trained ISVM weight
+// rows, or the reuse-distance models' per-PC error rows.
 type PredictResult struct {
 	Workload    string      `json:"workload"`
 	Policy      string      `json:"policy"`
@@ -99,14 +105,16 @@ type PredictResult struct {
 	LLCMissRate float64     `json:"llc_miss_rate"`
 	Verdicts    []PCVerdict `json:"verdicts"`
 	ISVMRows    []ISVMRow   `json:"isvm_rows,omitempty"`
+	ModelRows   []ModelRow  `json:"model_rows,omitempty"`
 }
 
-// RunPredictCell trains a predictor-backed policy (Hawkeye or Glider) by
-// running the workload functionally, then reports the end-of-run verdicts for
-// the topPCs hottest PCs of the post-warmup LLC stream (ordered by access
-// count descending, PC ascending on ties) and, for Glider, the isvmRows
-// most-trained ISVM rows. Policies without a queryable predictor are
-// rejected.
+// RunPredictCell trains a predictor-backed policy (Hawkeye, Glider, FRD,
+// MSA) by running the workload functionally, then reports the end-of-run
+// verdicts for the topPCs hottest PCs of the post-warmup LLC stream (ordered
+// by access count descending, PC ascending on ties) and up to isvmRows model
+// introspection rows — ISVM weights for Glider, per-PC prediction-error
+// histograms for the reuse-distance models. Policies without a queryable
+// predictor are rejected.
 func RunPredictCell(ctx context.Context, workloadName, policyName string, accesses int, seed int64, topPCs, isvmRows int) (PredictResult, error) {
 	spec, err := workload.Resolve(workloadName)
 	if err != nil {
@@ -166,6 +174,9 @@ func RunPredictCell(ctx context.Context, workloadName, policyName string, access
 		for _, row := range g.Predictor().TopRows(isvmRows) {
 			out.ISVMRows = append(out.ISVMRows, ISVMRow(row))
 		}
+	}
+	if mi, ok := h.LLC().Policy().(policy.ModelIntrospector); ok && isvmRows > 0 {
+		out.ModelRows = mi.TopModelRows(isvmRows)
 	}
 	return out, nil
 }

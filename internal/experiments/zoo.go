@@ -50,8 +50,9 @@ type Zoo struct {
 }
 
 // ZooPolicySet is the comparison set for the scenario zoo: the paper's four
-// policies plus the LRU baseline the service deployments care about.
-var ZooPolicySet = append([]string{"lru"}, PolicySet...)
+// policies, the LRU baseline the service deployments care about, and the
+// reuse-distance family (FRD regressor, MSA multi-step evictor).
+var ZooPolicySet = append(append([]string{"lru"}, PolicySet...), "frd", "msa")
 
 // RunZoo sweeps every scenario spec across ZooPolicySet on the parallel
 // runner. Specs resolve through workload.Resolve, so registry names and

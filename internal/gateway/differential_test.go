@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"testing"
 	"time"
 
@@ -24,12 +23,8 @@ import (
 
 func registeredPolicies(t *testing.T) []string {
 	t.Helper()
-	names := make([]string, 0, len(policy.Registry))
-	for name := range policy.Registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) < 17 {
+	names := policy.Names()
+	if len(names) < 19 {
 		t.Fatalf("policy registry shrank to %d entries", len(names))
 	}
 	return names
@@ -115,7 +110,7 @@ func TestDifferentialClusterPredictMatchesDirect(t *testing.T) {
 	)
 	c := newCluster(t, 3, realCellExec, nil)
 
-	for _, pol := range []string{"hawkeye", "glider"} {
+	for _, pol := range policy.PredictorNames() {
 		spec := server.JobSpec{Kind: server.KindPredict, Workload: bench, Policy: pol, Accesses: accesses, Seed: seed}
 		if err := spec.Validate(server.Limits{}); err != nil {
 			t.Fatal(err)

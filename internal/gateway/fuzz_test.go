@@ -17,11 +17,11 @@ import (
 //  2. Ownership is a pure function of the final membership set: replaying
 //     only the surviving adds, in sorted order, yields an identical ring.
 func FuzzRingChurn(f *testing.F) {
-	f.Add([]byte{0, 1, 2})                      // add b0,b1,b2
-	f.Add([]byte{0, 1, 8, 2, 9, 0})             // churn: add/remove interleaved
-	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 8})    // add all, drop b0
-	f.Add([]byte{0, 8, 0, 8, 0, 8})             // flap one node
-	f.Add([]byte{3, 11, 3, 11, 5, 2, 13, 10})   // repeated churn on few nodes
+	f.Add([]byte{0, 1, 2})                    // add b0,b1,b2
+	f.Add([]byte{0, 1, 8, 2, 9, 0})           // churn: add/remove interleaved
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 8})  // add all, drop b0
+	f.Add([]byte{0, 8, 0, 8, 0, 8})           // flap one node
+	f.Add([]byte{3, 11, 3, 11, 5, 2, 13, 10}) // repeated churn on few nodes
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		const replicas = 16
 		r := NewRing(replicas)

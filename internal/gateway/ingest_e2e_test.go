@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"glider/internal/experiments"
+	"glider/internal/policy"
 	"glider/internal/server"
 )
 
@@ -26,7 +27,15 @@ func TestGatewayServesIngestedScenarios(t *testing.T) {
 		"zipf(objects=4096,skew=0.9,scan-every=2000,scan-len=256)",
 		"mix(rr,zipf(objects=2048,skew=1.1),mcf)",
 	}
-	policies := []string{"lru", "hawkeye", "glider"}
+	// Registry-driven so new policies are covered automatically; the
+	// cheap memoryless baselines are skipped to keep the e2e suite fast.
+	skip := map[string]bool{"mru": true, "random": true, "lip": true, "dip": true}
+	var policies []string
+	for _, name := range policy.Names() {
+		if !skip[name] {
+			policies = append(policies, name)
+		}
+	}
 	c := newCluster(t, 3, realCellExec, nil)
 
 	for _, scen := range scenarios {

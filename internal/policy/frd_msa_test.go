@@ -1,0 +1,195 @@
+package policy
+
+// Unit tests for the reuse-distance family's building blocks: bucket
+// arithmetic, the lexicographic MSA rank comparison, writeback handling,
+// predictor capability, obs wiring, and model introspection.
+
+import (
+	"strings"
+	"testing"
+
+	"glider/internal/cache"
+	"glider/internal/obs"
+	"glider/internal/trace"
+)
+
+func TestReuseBucketRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		d uint64
+		b int
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {64, 7}, {65, 7}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		if got := reuseBucket(c.d); got != c.b {
+			t.Errorf("reuseBucket(%d) = %d, want %d", c.d, got, c.b)
+		}
+		// The representative distance of a bucket must cover the distances
+		// that map into it.
+		if rep := bucketDist(reuseBucket(c.d)); rep < c.d {
+			t.Errorf("bucketDist(reuseBucket(%d)) = %d < %d", c.d, rep, c.d)
+		}
+	}
+	if reuseBucket(ReuseNever) != reuseMaxBucket {
+		t.Error("ReuseNever must map to the max bucket")
+	}
+	if bucketDist(reuseMaxBucket) != ReuseNever {
+		t.Error("max bucket must map back to ReuseNever")
+	}
+	if satAdd(^uint64(0)>>2, ReuseNever) <= ^uint64(0)>>2 {
+		t.Error("satAdd must not wrap")
+	}
+}
+
+func TestMSARankGreater(t *testing.T) {
+	t.Parallel()
+	const clock = 100
+	cases := []struct {
+		name string
+		a, b []uint64
+		want bool
+	}{
+		{"first element decides", []uint64{300, 310}, []uint64{200, 400}, true},
+		{"first element decides (reverse)", []uint64{200, 400}, []uint64{300, 310}, false},
+		{"tie broken by second", []uint64{200, 400}, []uint64{200, 300}, true},
+		{"equal is not greater", []uint64{200, 300}, []uint64{200, 300}, false},
+		{"expired prefix skipped", []uint64{50, 300}, []uint64{200, 400}, true},
+		{"fully expired is maximal", []uint64{50, 60}, []uint64{200, 400}, true},
+		{"nothing beats fully expired", []uint64{200, 400}, []uint64{50, 60}, false},
+		{"both expired tie", []uint64{50, 60}, []uint64{70, 80}, false},
+		{"shorter suffix ranks higher on tie", []uint64{90, 200}, []uint64{200, 300}, true},
+	}
+	for _, c := range cases {
+		if got := msaRankGreater(c.a, c.b, clock); got != c.want {
+			t.Errorf("%s: msaRankGreater(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestWritebackFillsAreEvictFirst: a writeback-filled line carries no reuse
+// prediction, so the next demand miss in the set must evict it rather than
+// a predicted-live line.
+func TestWritebackFillsAreEvictFirst(t *testing.T) {
+	t.Parallel()
+	for _, build := range []func() cache.Policy{
+		func() cache.Policy { return NewFRD(1, 2) },
+		func() cache.Policy { return NewMSA(1, 2) },
+	} {
+		p := build()
+		c, err := cache.New(cache.Config{Name: "wb", Sets: 1, Ways: 2}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Access(0xA, 10, 0, trace.Load)      // demand line
+		c.Access(0xB, 20, 0, trace.Writeback) // writeback fill: expired stamp
+		r := c.Access(0xA, 30, 0, trace.Load) // must evict the writeback line
+		if r.Way == cache.Bypass {
+			t.Fatalf("%s: demand miss bypassed instead of evicting the writeback line", p.Name())
+		}
+		if !r.Evicted || r.EvictedLine.Tag != 20 {
+			t.Fatalf("%s: evicted %+v, want the writeback-filled line (tag 20)", p.Name(), r)
+		}
+	}
+}
+
+func TestLearnedPoliciesPredictFriendly(t *testing.T) {
+	t.Parallel()
+	// Near-immediate reuse → friendly; a PC trained to "never reuse" →
+	// averse. Drive the learned models with crafted streams long enough to
+	// trained state.
+	const sets, ways = 16, 4
+	for _, name := range []string{"frd", "msa"} {
+		p, _ := New(name, sets, ways)
+		c, err := cache.New(cache.Config{Name: "pf", Sets: sets, Ways: ways}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// PC 0xA re-touches a tiny working set (distance 8); PC 0xB scans.
+		next := uint64(1 << 30)
+		for it := 0; it < 3000; it++ {
+			c.Access(0xA, uint64(it%8), 0, trace.Load)
+			c.Access(0xB, next, 0, trace.Load)
+			next++
+		}
+		fp, ok := p.(interface {
+			PredictFriendly(pc uint64, core uint8) bool
+		})
+		if !ok {
+			t.Fatalf("%s does not implement PredictFriendly", name)
+		}
+		if !fp.PredictFriendly(0xA, 0) {
+			t.Errorf("%s: hot PC 0xA classified averse", name)
+		}
+		if fp.PredictFriendly(0xB, 0) {
+			t.Errorf("%s: scan PC 0xB classified friendly", name)
+		}
+	}
+}
+
+func TestLearnedPolicyObsAndIntrospection(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"frd", "msa"} {
+		reg := obs.NewRegistry()
+		sink := obs.NewRingSink(256)
+		p, _ := New(name, 16, 4)
+		p.(obs.Attacher).AttachObs(reg, sink)
+		c, err := cache.New(cache.Config{Name: "obs", Sets: 16, Ways: 4}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 2000; it++ {
+			c.Access(uint64(it%5), uint64(it%96), 0, trace.Load)
+		}
+		p.(obs.Flusher).FlushObs()
+		snap := reg.Snapshot()
+		var sawTrain bool
+		for _, counter := range snap.Counters {
+			if strings.HasPrefix(counter.Name, name+".train") && counter.Value > 0 {
+				sawTrain = true
+			}
+		}
+		if !sawTrain {
+			t.Errorf("%s: no training counters in snapshot", name)
+		}
+		events := sink.Events()
+		if len(events) == 0 {
+			t.Fatalf("%s: FlushObs emitted nothing", name)
+		}
+		var sawSummary, sawRow bool
+		for _, e := range events {
+			if e.Component == name && e.Event == "summary" {
+				sawSummary = true
+			}
+			if e.Component == name && e.Event == "pc_error" {
+				sawRow = true
+			}
+		}
+		if !sawSummary || !sawRow {
+			t.Errorf("%s: missing flush events (summary=%v, pc_error=%v)", name, sawSummary, sawRow)
+		}
+		mi := p.(ModelIntrospector)
+		rows := mi.TopModelRows(3)
+		if len(rows) == 0 || len(rows) > 3 {
+			t.Fatalf("%s: TopModelRows(3) returned %d rows", name, len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Samples > rows[i-1].Samples {
+				t.Errorf("%s: rows not ordered by samples: %d after %d", name, rows[i].Samples, rows[i-1].Samples)
+			}
+		}
+	}
+}
+
+func TestMSAStepsClamped(t *testing.T) {
+	t.Parallel()
+	if got := NewMSAK(4, 4, 0).Steps(); got != 1 {
+		t.Errorf("k=0 clamped to %d, want 1", got)
+	}
+	if got := NewMSAK(4, 4, 100).Steps(); got != msaMaxSteps {
+		t.Errorf("k=100 clamped to %d, want %d", got, msaMaxSteps)
+	}
+	if got := NewMSA(4, 4).Steps(); got != msaDefaultSteps {
+		t.Errorf("default k = %d, want %d", got, msaDefaultSteps)
+	}
+}

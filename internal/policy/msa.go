@@ -1,0 +1,492 @@
+package policy
+
+// msa.go implements MSA, a multi-step-ahead evictor in the shape of MUSTACHE
+// (Quislant et al.): instead of predicting only the next reuse of a line,
+// the model predicts its next k reuses, and eviction ranks lines by the
+// resulting reuse schedule. A line whose *first* predicted reuse is near but
+// whose remaining schedule is short or distant loses to one with a dense
+// schedule.
+//
+// Ranking is lexicographic over the predicted absolute reuse times with
+// expired entries (predicted times already passed) skipped: the first
+// predicted reuse is primary — exactly Belady MIN's criterion, which is why
+// the perfect-prediction variant provably matches MIN — and the later steps
+// break ties toward the line with the worst (shortest/furthest-ending)
+// remaining schedule. Lines whose entire schedule has expired are presumed
+// dead and evicted first; schedules with fewer known future uses rank as if
+// padded with "never".
+//
+// The learned model is a per-PC slot holding an EMA of observed
+// reuse-distance buckets (step 1) and a ring of the most recent observed
+// buckets (steps 2..k), trained by the same sampled-set observed-reuse
+// pipeline as FRD. All state is integer and iteration is sorted, so MSA
+// joins the byte-identity differential suites unchanged. NewMSAWithPredictor
+// injects any ReusePredictor (the oracle seam for the property tests).
+
+import (
+	"sort"
+
+	"glider/internal/cache"
+	"glider/internal/obs"
+	"glider/internal/trace"
+)
+
+const (
+	// msaDefaultSteps is the default prediction depth k.
+	msaDefaultSteps = 4
+	// msaMaxSteps bounds configurable k (and the per-PC ring depth).
+	msaMaxSteps = 8
+	// msaTableBits sizes the per-PC model table.
+	msaTableBits = 12
+	msaTableSize = 1 << msaTableBits
+	// msaInitBucket seeds unseen PCs (2^8 accesses), matching FRD.
+	msaInitBucket = 8
+	// msaEMAShift is the EMA weight: new = old + (obs - old)/4, in 1/16
+	// bucket fixed point.
+	msaEMAShift = 2
+	msaEMAScale = 4 // fixed-point fractional bits
+)
+
+// msaModel is the learned k-step reuse model: per-PC-slot EMA of observed
+// reuse-distance buckets plus a ring of the last msaMaxSteps observations.
+type msaModel struct {
+	k    int
+	ema  []uint16 // bucket << msaEMAScale fixed point
+	ring []uint8  // msaTableSize × msaMaxSteps, newest first
+}
+
+func newMSAModel(k int) *msaModel {
+	m := &msaModel{
+		k:    k,
+		ema:  make([]uint16, msaTableSize),
+		ring: make([]uint8, msaTableSize*msaMaxSteps),
+	}
+	for i := range m.ema {
+		m.ema[i] = msaInitBucket << msaEMAScale
+	}
+	for i := range m.ring {
+		m.ring[i] = msaInitBucket
+	}
+	return m
+}
+
+// observe feeds one observed reuse-distance bucket for pc into the model.
+func (m *msaModel) observe(pc uint64, b uint8) {
+	slot := hashPC(pc, msaTableSize)
+	cur := int(m.ema[slot])
+	m.ema[slot] = uint16(cur + ((int(b)<<msaEMAScale)-cur)>>msaEMAShift)
+	r := m.ring[slot*msaMaxSteps : slot*msaMaxSteps+msaMaxSteps]
+	copy(r[1:], r[:msaMaxSteps-1])
+	r[0] = b
+}
+
+// predictBuckets fills dst with the predicted buckets of pc's next len(dst)
+// reuse gaps: the EMA (rounded) for the first, then the observation ring.
+// Read-only.
+func (m *msaModel) predictBuckets(pc uint64, dst []uint8) {
+	slot := hashPC(pc, msaTableSize)
+	half := 1 << (msaEMAScale - 1)
+	dst[0] = uint8(clampInt((int(m.ema[slot])+half)>>msaEMAScale, 0, reuseMaxBucket))
+	r := m.ring[slot*msaMaxSteps : slot*msaMaxSteps+msaMaxSteps]
+	for j := 1; j < len(dst); j++ {
+		dst[j] = r[j-1]
+	}
+}
+
+// PredictReuse implements ReusePredictor: cumulative gap distances, soonest
+// first, nondecreasing. Read-only.
+func (m *msaModel) PredictReuse(pc, block uint64, dst []uint64) {
+	var bk [msaMaxSteps]uint8
+	n := len(dst)
+	if n > msaMaxSteps {
+		n = msaMaxSteps
+	}
+	m.predictBuckets(pc, bk[:n])
+	var acc uint64
+	for j := 0; j < n; j++ {
+		acc = satAdd(acc, bucketDist(int(bk[j])))
+		dst[j] = acc
+	}
+	for j := n; j < len(dst); j++ {
+		dst[j] = ReuseNever
+	}
+}
+
+// MSADebug exposes training and decision counters for tests and reports.
+type MSADebug struct {
+	// TrainEvents counts observed-reuse training updates; SumAbsErr and
+	// SumErr accumulate step-1 errors in buckets.
+	TrainEvents uint64
+	SumAbsErr   uint64
+	SumErr      int64
+	// TopKHits counts training events where the observed bucket was
+	// within ±1 of any of the k predicted step buckets in the snapshot —
+	// the top-k accuracy numerator (TrainEvents is the denominator).
+	TopKHits uint64
+	// Expiries counts sampler records trained as beyond-window.
+	Expiries uint64
+	// Bypasses counts incoming lines the policy declined to cache.
+	Bypasses uint64
+}
+
+// MeanAbsErr returns the mean absolute step-1 prediction error in buckets.
+func (d MSADebug) MeanAbsErr() float64 {
+	if d.TrainEvents == 0 {
+		return 0
+	}
+	return float64(d.SumAbsErr) / float64(d.TrainEvents)
+}
+
+// TopKAccuracy returns the fraction of observed reuses whose bucket was
+// within ±1 of any predicted step.
+func (d MSADebug) TopKAccuracy() float64 {
+	if d.TrainEvents == 0 {
+		return 0
+	}
+	return float64(d.TopKHits) / float64(d.TrainEvents)
+}
+
+// msaSample is one sampler record: the k buckets predicted for a block when
+// it was last touched in a sampled set.
+type msaSample struct {
+	pred [msaMaxSteps]uint8
+	pc   uint64
+	time uint64
+}
+
+type msaSampler struct {
+	last map[uint64]msaSample
+}
+
+// MSA is the multi-step-ahead eviction policy.
+type MSA struct {
+	sets, ways int
+	k          int
+	capacity   uint64
+	clock      uint64
+	window     uint64
+	rank       []uint64 // sets × ways × k predicted absolute reuse times
+	model      ReusePredictor
+	learn      *msaModel // nil when an external model is injected
+	samplers   map[int]*msaSampler
+	pcErr      map[uint64]*pcErrStat
+	debug      MSADebug
+
+	// Observability (nil when disabled; see AttachObs).
+	obsPred   *obs.Histogram
+	obsErr    *obs.Histogram
+	obsTrain  *obs.Counter
+	obsTopK   *obs.Counter
+	obsExpire *obs.Counter
+	obsBypass *obs.Counter
+	sink      obs.Sink
+}
+
+// NewMSA builds the learned MSA policy with the default prediction depth.
+func NewMSA(sets, ways int) *MSA { return NewMSAK(sets, ways, msaDefaultSteps) }
+
+// NewMSAK builds the learned MSA policy predicting k steps ahead
+// (1 ≤ k ≤ msaMaxSteps; out-of-range k is clamped).
+func NewMSAK(sets, ways, k int) *MSA {
+	p := newMSAShell(sets, ways, k)
+	p.learn = newMSAModel(p.k)
+	p.model = p.learn
+	return p
+}
+
+// NewMSAWithPredictor builds an MSA policy around an injected model — the
+// oracle seam used by the Belady-equivalence property tests. The sampled-set
+// trainer is disabled; the ranking machinery is byte-identical to NewMSAK's.
+func NewMSAWithPredictor(sets, ways, k int, model ReusePredictor) *MSA {
+	p := newMSAShell(sets, ways, k)
+	p.model = model
+	return p
+}
+
+func newMSAShell(sets, ways, k int) *MSA {
+	k = clampInt(k, 1, msaMaxSteps)
+	return &MSA{
+		sets:     sets,
+		ways:     ways,
+		k:        k,
+		capacity: uint64(sets * ways),
+		window:   uint64(frdWindowFactor * sets * ways),
+		rank:     make([]uint64, sets*ways*k),
+		samplers: make(map[int]*msaSampler),
+		pcErr:    make(map[uint64]*pcErrStat),
+	}
+}
+
+// Name implements cache.Policy.
+func (p *MSA) Name() string { return "msa" }
+
+// Steps returns the configured prediction depth k.
+func (p *MSA) Steps() int { return p.k }
+
+// Debug returns the accumulated counters.
+func (p *MSA) Debug() MSADebug { return p.debug }
+
+// AttachObs implements obs.Attacher.
+func (p *MSA) AttachObs(reg *obs.Registry, sink obs.Sink) {
+	if reg == nil && sink == nil {
+		return
+	}
+	p.obsPred = reg.Histogram("msa.predict.bucket", obs.LinearBuckets(0, 4, 11))
+	p.obsErr = reg.Histogram("msa.train.err", obs.LinearBuckets(-8, 2, 9))
+	p.obsTrain = reg.Counter("msa.train.events")
+	p.obsTopK = reg.Counter("msa.train.topk_hits")
+	p.obsExpire = reg.Counter("msa.train.expiries")
+	p.obsBypass = reg.Counter("msa.evict.bypass")
+	p.sink = sink
+}
+
+// FlushObs implements obs.Flusher: per-PC prediction-error rows plus a
+// summary, mirroring FRD.
+func (p *MSA) FlushObs() {
+	if p.sink == nil {
+		return
+	}
+	p.sink.Emit("msa", "summary", map[string]any{
+		"k": p.k, "train_events": p.debug.TrainEvents,
+		"expiries": p.debug.Expiries, "bypasses": p.debug.Bypasses,
+		"mean_abs_err": p.debug.MeanAbsErr(), "topk_accuracy": p.debug.TopKAccuracy(),
+	})
+	for _, row := range p.TopModelRows(16) {
+		p.sink.Emit("msa", "pc_error", map[string]any{
+			"pc": row.PC, "samples": row.Samples, "mean_abs_err": row.MeanAbsErr,
+			"err_hist": row.ErrHist, "predicted_buckets": row.Predicted,
+		})
+	}
+}
+
+// TopModelRows implements ModelIntrospector (see FRD.TopModelRows); the
+// Predicted column holds all k step buckets.
+func (p *MSA) TopModelRows(n int) []ModelRow {
+	pcs := make([]uint64, 0, len(p.pcErr))
+	for pc := range p.pcErr {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		si, sj := p.pcErr[pcs[i]], p.pcErr[pcs[j]]
+		if si.n != sj.n {
+			return si.n > sj.n
+		}
+		return pcs[i] < pcs[j]
+	})
+	if n >= 0 && len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	rows := make([]ModelRow, 0, len(pcs))
+	for _, pc := range pcs {
+		s := p.pcErr[pc]
+		row := ModelRow{
+			PC:         pc,
+			Samples:    s.n,
+			MeanAbsErr: float64(s.sumAbs) / float64(s.n),
+			ErrHist:    append([]uint64(nil), s.hist[:]...),
+		}
+		if p.learn != nil {
+			var bk [msaMaxSteps]uint8
+			p.learn.predictBuckets(pc, bk[:p.k])
+			row.Predicted = make([]int, p.k)
+			for j := 0; j < p.k; j++ {
+				row.Predicted[j] = int(bk[j])
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PredictFriendly reports whether pc's predicted first reuse fits inside
+// the cache capacity.
+func (p *MSA) PredictFriendly(pc uint64, core uint8) bool {
+	var d [1]uint64
+	p.model.PredictReuse(pc, 0, d[:1])
+	return d[0] < p.capacity
+}
+
+// msaRankGreater reports whether schedule a should be evicted in preference
+// to schedule b. Both are k-long ascending absolute reuse times; entries
+// ≤ clock already expired. The comparison skips each schedule's expired
+// prefix, treats a fully expired schedule as maximal (presumed dead), and
+// otherwise compares lexicographically with exhausted suffixes reading as
+// "never". Strict: equal schedules return false, so the first-scanned
+// candidate wins ties — the same tie-break SimulateMIN uses.
+func msaRankGreater(a, b []uint64, clock uint64) bool {
+	ia, ib := 0, 0
+	for ia < len(a) && a[ia] <= clock {
+		ia++
+	}
+	for ib < len(b) && b[ib] <= clock {
+		ib++
+	}
+	if ia == len(a) || ib == len(b) {
+		return ia == len(a) && ib < len(b)
+	}
+	for {
+		av, bv := ^uint64(0), ^uint64(0)
+		if ia < len(a) {
+			av = a[ia]
+		}
+		if ib < len(b) {
+			bv = b[ib]
+		}
+		if av != bv {
+			return av > bv
+		}
+		if ia >= len(a) && ib >= len(b) {
+			return false
+		}
+		ia++
+		ib++
+	}
+}
+
+// Victim implements cache.Policy: rank every resident schedule against the
+// incoming access's predicted schedule; evict the greatest, or bypass when
+// the incoming line itself ranks greatest.
+func (p *MSA) Victim(set int, pc, block uint64, core uint8, lines []cache.Line) int {
+	var incBuf [msaMaxSteps]uint64
+	inc := incBuf[:p.k]
+	p.model.PredictReuse(pc, block, inc)
+	for j := range inc {
+		inc[j] = satAdd(p.clock, inc[j])
+	}
+	best := inc
+	victim := cache.Bypass
+	base := set * p.ways * p.k
+	for w := range lines {
+		r := p.rank[base+w*p.k : base+(w+1)*p.k]
+		if msaRankGreater(r, best, p.clock) {
+			best = r
+			victim = w
+		}
+	}
+	if victim == cache.Bypass {
+		p.debug.Bypasses++
+		p.obsBypass.Inc()
+	}
+	return victim
+}
+
+// Update implements cache.Policy: train from observed reuse distances on
+// sampled sets, then stamp the touched line's predicted reuse schedule.
+func (p *MSA) Update(set, way int, pc, block uint64, core uint8, hit bool, kind trace.Kind) {
+	if kind == trace.Writeback {
+		// Writeback fills carry no reuse signal: mark the whole schedule
+		// expired (evict-first) and leave clock and trainer untouched.
+		if way >= 0 && !hit {
+			r := p.rank[(set*p.ways+way)*p.k : (set*p.ways+way+1)*p.k]
+			for j := range r {
+				r[j] = p.clock
+			}
+		}
+		return
+	}
+	if p.learn != nil {
+		p.trainSampled(set, pc, block)
+	}
+	var dist [msaMaxSteps]uint64
+	p.model.PredictReuse(pc, block, dist[:p.k])
+	if p.learn != nil {
+		p.obsPred.Observe(float64(reuseBucket(dist[0])))
+	}
+	if way >= 0 {
+		r := p.rank[(set*p.ways+way)*p.k : (set*p.ways+way+1)*p.k]
+		for j := 0; j < p.k; j++ {
+			r[j] = satAdd(p.clock, dist[j])
+		}
+	}
+	p.clock++
+	if p.learn != nil && p.clock%frdSweepPeriod == 0 {
+		p.sweep()
+	}
+}
+
+// recordErr accumulates one step-1 training error and the top-k hit bit.
+func (p *MSA) recordErr(pc uint64, err int, topkHit bool) {
+	abs := err
+	if abs < 0 {
+		abs = -abs
+	}
+	p.debug.TrainEvents++
+	p.debug.SumAbsErr += uint64(abs)
+	p.debug.SumErr += int64(err)
+	if topkHit {
+		p.debug.TopKHits++
+		p.obsTopK.Inc()
+	}
+	p.obsTrain.Inc()
+	p.obsErr.Observe(float64(err))
+	s, ok := p.pcErr[pc]
+	if !ok {
+		if len(p.pcErr) >= frdMaxTrackedPCs {
+			return
+		}
+		s = &pcErrStat{}
+		p.pcErr[pc] = s
+	}
+	s.n++
+	s.sumAbs += uint64(abs)
+	s.hist[clampInt(err, -4, 4)+4]++
+}
+
+// trainSampled records this access in the set's sampler and, when the block
+// was seen before, scores the stored k-step snapshot against the observed
+// distance and feeds the observation to the model.
+func (p *MSA) trainSampled(set int, pc, block uint64) {
+	s, ok := p.samplers[set]
+	if !ok {
+		s = &msaSampler{last: make(map[uint64]msaSample, frdWindowFactor*p.ways)}
+		p.samplers[set] = s
+	}
+	if prev, ok := s.last[block]; ok {
+		target := reuseBucket(p.clock - prev.time)
+		hit := false
+		for j := 0; j < p.k; j++ {
+			d := target - int(prev.pred[j])
+			if d >= -1 && d <= 1 {
+				hit = true
+				break
+			}
+		}
+		p.recordErr(prev.pc, target-int(prev.pred[0]), hit)
+		p.learn.observe(prev.pc, uint8(target))
+	}
+	e := msaSample{pc: pc, time: p.clock}
+	p.learn.predictBuckets(pc, e.pred[:p.k])
+	s.last[block] = e
+}
+
+// sweep expires sampler records beyond the window, feeding a beyond-window
+// observation for each (sorted iteration; see FRD.sweep for why).
+func (p *MSA) sweep() {
+	beyond := reuseBucket(p.window) + 1
+	if beyond > reuseMaxBucket {
+		beyond = reuseMaxBucket
+	}
+	sets := make([]int, 0, len(p.samplers))
+	for set := range p.samplers {
+		sets = append(sets, set)
+	}
+	sort.Ints(sets)
+	var expired []uint64
+	for _, set := range sets {
+		s := p.samplers[set]
+		expired = expired[:0]
+		for b, e := range s.last {
+			if p.clock-e.time > p.window {
+				expired = append(expired, b)
+			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		for _, b := range expired {
+			e := s.last[b]
+			p.learn.observe(e.pc, uint8(beyond))
+			p.debug.Expiries++
+			p.obsExpire.Inc()
+			delete(s.last, b)
+		}
+	}
+}

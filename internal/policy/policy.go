@@ -8,6 +8,8 @@
 package policy
 
 import (
+	"sort"
+
 	"glider/internal/cache"
 	"glider/internal/trace"
 )
@@ -36,6 +38,51 @@ var Registry = map[string]Factory{
 	"lfu":        func(s, w int) cache.Policy { return NewLFU(s, w) },
 	"lrfu":       func(s, w int) cache.Policy { return NewLRFU(s, w, 0.001) },
 	"eaf":        func(s, w int) cache.Policy { return NewEAF(s, w, 1) },
+	"frd":        func(s, w int) cache.Policy { return NewFRD(s, w) },
+	"msa":        func(s, w int) cache.Policy { return NewMSA(s, w) },
+}
+
+// Names returns the registered policy names, sorted. Test suites and
+// catalogs iterate this instead of hard-coding lists so new policies are
+// covered automatically.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// friendlyPredictor mirrors cpu.FriendlyPredictor (declared here to avoid
+// an import cycle): policies that can classify an access as cache-friendly
+// or cache-averse by PC.
+type friendlyPredictor interface {
+	PredictFriendly(pc uint64, core uint8) bool
+}
+
+// PredictorCapable reports whether the named policy exposes per-PC
+// friendly/averse predictions (and hence supports gliderd's /v1/predict).
+// Probed structurally on a throwaway instance, so it cannot drift from the
+// implementations.
+func PredictorCapable(name string) bool {
+	p, ok := New(name, 16, 16)
+	if !ok {
+		return false
+	}
+	_, capable := p.(friendlyPredictor)
+	return capable
+}
+
+// PredictorNames returns the sorted names of predictor-capable policies.
+func PredictorNames() []string {
+	var names []string
+	for _, name := range Names() {
+		if PredictorCapable(name) {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // New looks up a registered policy by name.

@@ -33,7 +33,18 @@ func repeat(pattern []uint64, n int) []uint64 {
 }
 
 func TestRegistryContainsPaperPolicies(t *testing.T) {
-	for _, name := range []string{"lru", "srrip", "brrip", "drrip", "ship++", "mpppb", "perceptron", "hawkeye", "glider", "random", "mru"} {
+	// Spot-check the names other layers rely on, then exercise every
+	// registered factory so new entries are covered automatically.
+	for _, name := range []string{"lru", "hawkeye", "glider", "frd", "msa"} {
+		if _, ok := Registry[name]; !ok {
+			t.Fatalf("policy %q missing from registry", name)
+		}
+	}
+	names := Names()
+	if len(names) < 19 {
+		t.Fatalf("policy registry shrank to %d entries", len(names))
+	}
+	for _, name := range names {
 		p, ok := New(name, 16, 4)
 		if !ok || p == nil {
 			t.Fatalf("policy %q missing from registry", name)
@@ -44,6 +55,25 @@ func TestRegistryContainsPaperPolicies(t *testing.T) {
 	}
 	if _, ok := New("nonsense", 16, 4); ok {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	want := map[string]bool{"hawkeye": true, "glider": true, "frd": true, "msa": true}
+	got := PredictorNames()
+	if len(got) != len(want) {
+		t.Fatalf("PredictorNames() = %v, want the keys of %v", got, want)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("unexpected predictor-capable policy %q", name)
+		}
+	}
+	if PredictorCapable("lru") {
+		t.Fatal("lru must not report predictor capability")
+	}
+	if PredictorCapable("nonsense") {
+		t.Fatal("unknown policy must not report predictor capability")
 	}
 }
 

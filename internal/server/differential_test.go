@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"testing"
 
 	"glider/internal/experiments"
@@ -21,12 +20,8 @@ import (
 
 func registeredPolicies(t *testing.T) []string {
 	t.Helper()
-	names := make([]string, 0, len(policy.Registry))
-	for name := range policy.Registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) < 17 {
+	names := policy.Names()
+	if len(names) < 19 {
 		t.Fatalf("policy registry shrank to %d entries", len(names))
 	}
 	return names
@@ -135,7 +130,7 @@ func TestDifferentialPredictAcrossWorkers(t *testing.T) {
 		topPCs   = 16
 		isvmRows = 4
 	)
-	for _, pol := range []string{"hawkeye", "glider"} {
+	for _, pol := range policy.PredictorNames() {
 		res, err := experiments.RunPredictCell(context.Background(), bench, pol, accesses, seed, topPCs, isvmRows)
 		if err != nil {
 			t.Fatalf("direct %s: %v", pol, err)

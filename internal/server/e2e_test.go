@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/policy"
 	"glider/internal/workload"
 )
 
@@ -412,13 +413,17 @@ func TestCatalogAndMetrics(t *testing.T) {
 	if len(cat.Workloads) == 0 || len(cat.Policies) < 10 {
 		t.Fatalf("catalog too small: %d workloads, %d policies", len(cat.Workloads), len(cat.Policies))
 	}
-	wantPred := map[string]bool{"hawkeye": true, "glider": true}
+	wantPred := policy.PredictorNames()
 	if len(cat.Predictors) != len(wantPred) {
-		t.Fatalf("predictors = %v, want exactly hawkeye and glider", cat.Predictors)
+		t.Fatalf("predictors = %v, want %v", cat.Predictors, wantPred)
 	}
+	got := map[string]bool{}
 	for _, p := range cat.Predictors {
-		if !wantPred[p] {
-			t.Fatalf("unexpected predictor %q", p)
+		got[p] = true
+	}
+	for _, p := range wantPred {
+		if !got[p] {
+			t.Fatalf("catalog predictors %v missing %q", cat.Predictors, p)
 		}
 	}
 

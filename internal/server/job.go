@@ -129,14 +129,10 @@ func (j *JobSpec) Validate(lim Limits) error {
 }
 
 // predictorCapable reports whether the named policy implements
-// cpu.FriendlyPredictor (probed on a throwaway small-geometry instance).
+// cpu.FriendlyPredictor; the structural probe lives in the policy package
+// so the catalog, validation, and test suites all share one source of truth.
 func predictorCapable(name string) bool {
-	p, ok := policy.New(name, 16, 16)
-	if !ok {
-		return false
-	}
-	_, ok = p.(interface{ PredictFriendly(pc uint64, core uint8) bool })
-	return ok
+	return policy.PredictorCapable(name)
 }
 
 // Hash returns the job's canonical identity: an FNV-1a hash over the
