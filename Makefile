@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke gateway-smoke soak
+.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke gateway-smoke estimate-smoke soak
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ bench: bench-sim
 # hierarchy/trace-generation microbenchmarks) and records BENCH_sim.json —
 # the evidence file for hot-path optimization claims.
 bench-sim:
-	$(GO) test -run XXX -bench 'BenchmarkRunTable2Parallel|BenchmarkFig11Sweep|BenchmarkHierarchyAccess|BenchmarkTraceGenerate' -benchmem . > /tmp/bench_sim_root.txt
+	$(GO) test -run XXX -bench 'BenchmarkRunTable2Parallel|BenchmarkFig11Sweep|BenchmarkSweepPruned|BenchmarkSweepExhaustive|BenchmarkHierarchyAccess|BenchmarkTraceGenerate' -benchmem -timeout 60m . > /tmp/bench_sim_root.txt
 	$(GO) test -run XXX -bench 'BenchmarkFRDAccess|BenchmarkMSAAccess|BenchmarkHawkeyeAccess|BenchmarkGliderAccess' -benchmem ./internal/policy/ > /tmp/bench_sim_policy.txt
 	cat /tmp/bench_sim_root.txt /tmp/bench_sim_policy.txt | $(GO) run ./cmd/benchjson -o BENCH_sim.json
 
@@ -83,6 +83,15 @@ gateway-smoke:
 ingest-smoke:
 	$(GO) test -race -count 1 ./internal/trace/ ./internal/trace/ingest/
 	$(GO) test -race -count 1 -run 'Ingest|SpecSpellings|Zoo|CatalogListsSchemes|GatewayCatalogProxiesSchemes' ./internal/server/ ./internal/gateway/ ./internal/experiments/
+
+# estimate-smoke runs the learned proxy simulator's correctness wall under
+# the race detector: the surrogate package (training determinism, persisted
+# round trips, the confidence gate, the bound-coverage regression wall) plus
+# the sweep-pruning differential — train a tiny model, prune a sweep with
+# it, and demand the frontier matches the exhaustive sweep's exactly.
+estimate-smoke:
+	$(GO) test -race -count 1 ./internal/estimate/...
+	$(GO) test -race -count 1 -run 'TestSweepPruned|TestBenchModel|TestEstimate' ./internal/experiments/
 
 # soak drives sustained concurrent load (real simulations, cache churn,
 # mixed sim/predict traffic) through a live server under -race.

@@ -271,6 +271,62 @@ func BenchmarkFig11Sweep(b *testing.B) {
 	}
 }
 
+// --- Sweep pruning: the learned proxy simulator ---
+
+// benchSweepSetup loads the embedded full-fidelity surrogate model and
+// pre-warms every grid trace outside the timed region, so both sweep
+// benchmarks measure simulation strategy — exhaustive vs confidence-gated
+// pruning — not trace generation.
+func benchSweepSetup(b *testing.B) (experiments.Config, experiments.SweepOptions) {
+	b.Helper()
+	cfg := experiments.Default()
+	est, err := experiments.BenchEstimator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wls := experiments.BenchSweepWorkloads()
+	for _, wl := range wls {
+		spec, err := workload.Resolve(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.SharedE(spec, cfg.Accesses, cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cfg, experiments.SweepOptions{Workloads: wls, Estimator: est}
+}
+
+// BenchmarkSweepPruned measures the surrogate-pruned configuration sweep at
+// full fidelity (the 228-cell BenchSweepWorkloads grid at 1M accesses): the
+// confidence-gated fast path /v1/estimate serves. Compare against
+// BenchmarkSweepExhaustive on the same grid; the prunefactor metric records
+// grid cells per exact simulation. TestSweepPrunedNeverWrongOnFrontier holds
+// the correctness side: the pruned frontier is always the exhaustive one.
+func BenchmarkSweepPruned(b *testing.B) {
+	cfg, opts := benchSweepSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSweepPruned(cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.PruneFactor(), "prunefactor")
+	}
+}
+
+// BenchmarkSweepExhaustive is the baseline BenchmarkSweepPruned is measured
+// against: every cell of the same grid simulated exactly.
+func BenchmarkSweepExhaustive(b *testing.B) {
+	cfg, opts := benchSweepSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweepExhaustive(cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Microbenchmarks: raw simulator throughput ---
 
 // BenchmarkHierarchyAccess measures the per-access cost of the three-level

@@ -7,6 +7,15 @@
 //
 // Every metric pair on a benchmark line is kept, including custom
 // b.ReportMetric units such as seqs/s, keyed by its unit string.
+//
+// With -compare the command instead reads two committed reports and writes
+// a machine-readable regression report, making BENCH files enforceable
+// rather than descriptive:
+//
+//	benchjson -compare BENCH_sim.json new.json -threshold 15
+//
+// exits nonzero when any benchmark's compared metric (default ns/op) grew
+// by more than the threshold percentage.
 package main
 
 import (
@@ -42,9 +51,139 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	// Name is the benchmark name shared by both reports.
+	Name string `json:"name"`
+	// Old and New are the compared metric's values.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// DeltaPct is the relative change in percent; positive means the new
+	// run is slower (for /op metrics, larger = worse).
+	DeltaPct float64 `json:"delta_pct"`
+	// Regression is true when DeltaPct exceeds the report's threshold.
+	Regression bool `json:"regression"`
+}
+
+// CompareReport is the -compare output document.
+type CompareReport struct {
+	// Metric is the compared unit (default ns/op).
+	Metric string `json:"metric"`
+	// ThresholdPct is the failure threshold in percent.
+	ThresholdPct float64 `json:"threshold_pct"`
+	// Deltas holds one entry per benchmark present in both reports, in new
+	// report order.
+	Deltas []Delta `json:"deltas"`
+	// OnlyOld and OnlyNew list benchmarks present in one report only —
+	// disappeared or newly added (informational, never a failure).
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// WorstPct is the largest delta across Deltas (0 when empty).
+	WorstPct float64 `json:"worst_pct"`
+	// Regressions counts entries with Regression set; the command exits
+	// nonzero when it is positive.
+	Regressions int `json:"regressions"`
+}
+
+// compareReports diffs new against old on one metric.
+func compareReports(old, new Report, metric string, thresholdPct float64) CompareReport {
+	cr := CompareReport{Metric: metric, ThresholdPct: thresholdPct, Deltas: []Delta{}}
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newNames := make(map[string]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		newNames[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			cr.OnlyNew = append(cr.OnlyNew, nb.Name)
+			continue
+		}
+		ov, okO := ob.Metrics[metric]
+		nv, okN := nb.Metrics[metric]
+		if !okO || !okN || ov == 0 {
+			continue
+		}
+		d := Delta{Name: nb.Name, Old: ov, New: nv, DeltaPct: 100 * (nv - ov) / ov}
+		d.Regression = d.DeltaPct > thresholdPct
+		if d.Regression {
+			cr.Regressions++
+		}
+		if d.DeltaPct > cr.WorstPct {
+			cr.WorstPct = d.DeltaPct
+		}
+		cr.Deltas = append(cr.Deltas, d)
+	}
+	for _, b := range old.Benchmarks {
+		if !newNames[b.Name] {
+			cr.OnlyOld = append(cr.OnlyOld, b.Name)
+		}
+	}
+	return cr
+}
+
+func runCompare(oldPath, newPath, metric string, thresholdPct float64, out string) int {
+	load := func(path string) (Report, error) {
+		var r Report
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return r, err
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return r, fmt.Errorf("%s: %w", path, err)
+		}
+		return r, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		return 2
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		return 2
+	}
+	cr := compareReports(oldRep, newRep, metric, thresholdPct)
+	enc, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		return 2
+	}
+	for _, d := range cr.Deltas {
+		if d.Regression {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %s %.4g -> %.4g (%+.1f%% > %.1f%%)\n",
+				d.Name, cr.Metric, d.Old, d.New, d.DeltaPct, thresholdPct)
+		}
+	}
+	if cr.Regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchjson reports: benchjson -compare old.json new.json")
+	metric := flag.String("metric", "ns/op", "metric unit to compare in -compare mode")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *metric, *threshold, *out))
+	}
 
 	rep := Report{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+)
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Runs: 1, Metrics: map[string]float64{"ns/op": ns, "B/op": 64}}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 100),
+		bench("BenchmarkB", 200),
+		bench("BenchmarkGone", 10),
+	}}
+	new := Report{Benchmarks: []Benchmark{
+		bench("BenchmarkA", 105), // +5%: inside threshold
+		bench("BenchmarkB", 260), // +30%: regression
+		bench("BenchmarkNew", 42),
+	}}
+	cr := compareReports(old, new, "ns/op", 10)
+	if len(cr.Deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(cr.Deltas), cr.Deltas)
+	}
+	if cr.Deltas[0].Name != "BenchmarkA" || cr.Deltas[0].Regression {
+		t.Errorf("BenchmarkA should be within threshold: %+v", cr.Deltas[0])
+	}
+	if cr.Deltas[1].Name != "BenchmarkB" || !cr.Deltas[1].Regression {
+		t.Errorf("BenchmarkB should be a regression: %+v", cr.Deltas[1])
+	}
+	if got := cr.Deltas[1].DeltaPct; got < 29.9 || got > 30.1 {
+		t.Errorf("BenchmarkB delta = %v, want ~30", got)
+	}
+	if cr.Regressions != 1 {
+		t.Errorf("Regressions = %d, want 1", cr.Regressions)
+	}
+	if cr.WorstPct != cr.Deltas[1].DeltaPct {
+		t.Errorf("WorstPct = %v, want %v", cr.WorstPct, cr.Deltas[1].DeltaPct)
+	}
+	if len(cr.OnlyOld) != 1 || cr.OnlyOld[0] != "BenchmarkGone" {
+		t.Errorf("OnlyOld = %v", cr.OnlyOld)
+	}
+	if len(cr.OnlyNew) != 1 || cr.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", cr.OnlyNew)
+	}
+}
+
+func TestCompareReportsImprovementNotRegression(t *testing.T) {
+	old := Report{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
+	new := Report{Benchmarks: []Benchmark{bench("BenchmarkA", 50)}}
+	cr := compareReports(old, new, "ns/op", 10)
+	if cr.Regressions != 0 {
+		t.Errorf("a 50%% improvement must not count as regression: %+v", cr)
+	}
+	if cr.WorstPct != 0 {
+		t.Errorf("WorstPct = %v, want 0 (improvements don't raise it)", cr.WorstPct)
+	}
+}
+
+func TestCompareReportsMissingMetric(t *testing.T) {
+	old := Report{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
+	new := Report{Benchmarks: []Benchmark{bench("BenchmarkA", 100)}}
+	cr := compareReports(old, new, "seqs/s", 10)
+	if len(cr.Deltas) != 0 {
+		t.Errorf("metric absent from both sides must produce no delta: %+v", cr.Deltas)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkRunTable2Parallel/workers=4-8   	       5	 245000000 ns/op	 1024 B/op	 12 allocs/op")
+	if !ok {
+		t.Fatal("parseLine failed")
+	}
+	if b.Name != "BenchmarkRunTable2Parallel/workers=4" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Runs != 5 || b.Metrics["ns/op"] != 245000000 || b.Metrics["allocs/op"] != 12 {
+		t.Errorf("parsed = %+v", b)
+	}
+}

@@ -6,11 +6,14 @@
 //
 // where <experiment> is any of: table1 table2 table3 table4 fig4 fig5 fig6
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15 ablations extension lineage zoo
-// learned all. The zoo experiment sweeps the scenario zoo (Zipf object
-// streams, multi-tenant mixes, ingested ChampSim traces) and accepts
+// learned estimate all. The zoo experiment sweeps the scenario zoo (Zipf
+// object streams, multi-tenant mixes, ingested ChampSim traces) and accepts
 // repeatable -zoo-spec flags to choose scenarios; learned sweeps the
 // learned-replacement comparison set (LRU, Hawkeye, Glider, FRD, MSA) over
-// the Table 2 benchmarks.
+// the Table 2 benchmarks; estimate trains the surrogate simulator, prints
+// its held-out evaluation, and prunes a configuration sweep with it
+// (repeatable -sweep-workload flags choose the grid; default is the
+// thousand-cell sweep).
 //
 // fig11 and fig12 share simulation runs and are emitted together.
 package main
@@ -46,6 +49,11 @@ func main() {
 	var zooSpecs []string
 	flag.Func("zoo-spec", "scenario spec for the zoo experiment (repeatable; default: built-in scenario set)", func(s string) error {
 		zooSpecs = append(zooSpecs, s)
+		return nil
+	})
+	var sweepWLs []string
+	flag.Func("sweep-workload", "sweep workload for the estimate experiment (repeatable; default: thousand-cell sweep grid)", func(s string) error {
+		sweepWLs = append(sweepWLs, s)
 		return nil
 	})
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
@@ -121,7 +129,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|learned|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|learned|estimate|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -130,7 +138,7 @@ func main() {
 
 	for _, name := range args {
 		start := time.Now()
-		if err := run(name, cfg, zooSpecs, *asJSON); err != nil {
+		if err := run(name, cfg, zooSpecs, sweepWLs, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			stopProf()
 			os.Exit(1)
@@ -168,7 +176,7 @@ func emit(name string, r renderer, asJSON bool) error {
 	return enc.Encode(map[string]any{"experiment": name, "result": r})
 }
 
-func run(name string, cfg experiments.Config, zooSpecs []string, asJSON bool) error {
+func run(name string, cfg experiments.Config, zooSpecs, sweepWLs []string, asJSON bool) error {
 	switch name {
 	case "zoo":
 		z, err := experiments.RunZoo(cfg, zooSpecs)
@@ -182,6 +190,12 @@ func run(name string, cfg experiments.Config, zooSpecs []string, asJSON bool) er
 			return err
 		}
 		return emit(name, l, asJSON)
+	case "estimate":
+		e, err := experiments.RunEstimate(cfg, sweepWLs)
+		if err != nil {
+			return err
+		}
+		return emit(name, e, asJSON)
 	case "table1":
 		return emit(name, experiments.RunTable1(), asJSON)
 	case "table2":

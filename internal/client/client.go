@@ -1,7 +1,8 @@
 // Package client is the typed Go client for the gliderd HTTP API
-// (internal/server): simulation cells, prediction queries, NDJSON batch
-// streaming, catalog, health, and metrics, with server rejections surfaced
-// as *APIError carrying the HTTP status and Retry-After hint.
+// (internal/server): simulation cells, prediction queries, surrogate
+// estimates, NDJSON batch streaming, catalog, health, and metrics, with
+// server rejections surfaced as *APIError carrying the HTTP status and
+// Retry-After hint.
 package client
 
 import (
@@ -88,13 +89,16 @@ func (c *Client) Sim(ctx context.Context, spec server.JobSpec) (SimResponse, err
 }
 
 // Do posts spec to the endpoint matching its Kind ("sim" → /v1/sim,
-// "predict" → /v1/predict, defaulting to sim) and returns the raw envelope
-// without decoding the result — the forwarding primitive the gateway's
-// routing, retry, and hedging paths are built on.
+// "predict" → /v1/predict, "estimate" → /v1/estimate, defaulting to sim)
+// and returns the raw envelope without decoding the result — the forwarding
+// primitive the gateway's routing, retry, and hedging paths are built on.
 func (c *Client) Do(ctx context.Context, spec server.JobSpec) (server.Envelope, error) {
 	path := "/v1/sim"
-	if spec.Kind == server.KindPredict {
+	switch spec.Kind {
+	case server.KindPredict:
 		path = "/v1/predict"
+	case server.KindEstimate:
+		path = "/v1/estimate"
 	}
 	return c.postJob(ctx, path, spec)
 }
@@ -117,6 +121,34 @@ func (c *Client) Predict(ctx context.Context, spec server.JobSpec) (PredictRespo
 	out.Hash, out.Cached, out.Raw = env.Hash, env.Cached, env.Result
 	if err := json.Unmarshal(env.Result, &out.Result); err != nil {
 		return out, fmt.Errorf("gliderd: decoding predict result: %w", err)
+	}
+	return out, nil
+}
+
+// EstimateResponse is one surrogate-estimate result plus envelope metadata.
+type EstimateResponse struct {
+	Hash   string
+	Cached bool
+	// Source echoes the X-Gliderd-Estimate attribution header — "surrogate"
+	// or "exact-fallback" — and always matches Result.Source.
+	Source string
+	Result experiments.EstimateResult
+	Raw    json.RawMessage
+}
+
+// Estimate runs one estimate query: a surrogate answer with explicit error
+// bounds when the server's confidence gate accepts the cell, an exact
+// simulation otherwise (Source says which).
+func (c *Client) Estimate(ctx context.Context, spec server.JobSpec) (EstimateResponse, error) {
+	var out EstimateResponse
+	env, hdr, err := c.postJobHeader(ctx, "/v1/estimate", spec)
+	if err != nil {
+		return out, err
+	}
+	out.Hash, out.Cached, out.Raw = env.Hash, env.Cached, env.Result
+	out.Source = hdr.Get(server.EstimateHeader)
+	if err := json.Unmarshal(env.Result, &out.Result); err != nil {
+		return out, fmt.Errorf("gliderd: decoding estimate result: %w", err)
 	}
 	return out, nil
 }
@@ -214,28 +246,33 @@ func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 // ------------------------------------------------------------- internals
 
 func (c *Client) postJob(ctx context.Context, path string, spec server.JobSpec) (server.Envelope, error) {
+	env, _, err := c.postJobHeader(ctx, path, spec)
+	return env, err
+}
+
+func (c *Client) postJobHeader(ctx context.Context, path string, spec server.JobSpec) (server.Envelope, http.Header, error) {
 	var env server.Envelope
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return env, err
+		return env, nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return env, err
+		return env, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return env, err
+		return env, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return env, apiErrorFrom(resp)
+		return env, resp.Header, apiErrorFrom(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return env, fmt.Errorf("gliderd: decoding envelope: %w", err)
+		return env, resp.Header, fmt.Errorf("gliderd: decoding envelope: %w", err)
 	}
-	return env, nil
+	return env, resp.Header, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {

@@ -25,6 +25,13 @@ func cannedExecutor(ctx context.Context, spec server.JobSpec) (json.RawMessage, 
 			Verdicts: []experiments.PCVerdict{{PC: 0x40, Accesses: 9, Friendly: true}},
 			ISVMRows: []experiments.ISVMRow{{Index: 1, L1: 3, Weights: []int8{1, -2}}},
 		})
+	case server.KindEstimate:
+		return json.Marshal(experiments.EstimateResult{
+			Workload: spec.Workload, Policy: spec.Policy,
+			Accesses: spec.Accesses, Seed: spec.Seed,
+			Source: experiments.SourceSurrogate,
+			IPC:    1.2, LLCMissRate: 0.3, MissRateBound: 0.04, IPCBound: 0.1,
+		})
 	default:
 		return json.Marshal(experiments.CellResult{
 			Workload: spec.Workload, Policy: spec.Policy,
@@ -81,6 +88,36 @@ func TestClientSimPredictAndCache(t *testing.T) {
 	}
 	if len(pred.Result.ISVMRows) != 1 || pred.Result.ISVMRows[0].Weights[1] != -2 {
 		t.Fatalf("ISVM rows %+v", pred.Result.ISVMRows)
+	}
+}
+
+// TestClientEstimate pins the typed estimate call: the result decodes with
+// its error bounds intact, Source mirrors the X-Gliderd-Estimate header,
+// and a repeat query is a byte-identical cache hit like any other job.
+func TestClientEstimate(t *testing.T) {
+	c, _ := newClient(t, server.Config{Executor: cannedExecutor})
+	ctx := context.Background()
+
+	spec := server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 20000, Seed: 9001}
+	est, err := c.Estimate(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Source != experiments.SourceSurrogate {
+		t.Fatalf("source %q, want %q (from the attribution header)", est.Source, experiments.SourceSurrogate)
+	}
+	if est.Result.MissRateBound != 0.04 || est.Result.IPCBound != 0.1 {
+		t.Fatalf("bounds lost in decode: %+v", est.Result)
+	}
+	if est.Result.LLCMissRate != 0.3 || est.Result.Seed != 9001 {
+		t.Fatalf("decoded result %+v", est.Result)
+	}
+	again, err := c.Estimate(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Source != est.Source || !bytes.Equal(again.Raw, est.Raw) {
+		t.Fatalf("repeat estimate not a byte-identical cache hit: cached=%v source=%q", again.Cached, again.Source)
 	}
 }
 

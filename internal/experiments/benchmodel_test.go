@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"glider/internal/policy"
+
+	"glider/internal/estimate"
+)
+
+// TestBenchModelLoads pins the embedded full-fidelity model: it must load,
+// validate, and carry a head for every registered policy — otherwise the
+// sweep benchmarks would silently fall back to exact simulation for the
+// missing policies and the recorded prune factor would be fiction.
+func TestBenchModelLoads(t *testing.T) {
+	est, err := BenchEstimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := est.Policies(), policy.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("embedded model policies %v, want the full registry %v", got, want)
+	}
+	cfg := BenchTrainConfig()
+	if est.Inflate != cfg.Inflate || est.MinMissBound != cfg.MinMissBound {
+		t.Fatalf("embedded model bound params (%.3f, %.4f) drifted from BenchTrainConfig (%.3f, %.4f)",
+			est.Inflate, est.MinMissBound, cfg.Inflate, cfg.MinMissBound)
+	}
+}
+
+// TestRegenerateBenchModel rewrites benchmodel.gob by retraining with
+// BenchTrainConfig — a full-fidelity run, so it only executes when asked:
+//
+//	GLIDER_REGEN_BENCH_MODEL=1 go test -run TestRegenerateBenchModel -timeout 60m ./internal/experiments/
+//
+// Training is deterministic, so rerunning it on an unchanged tree rewrites
+// an identical file.
+func TestRegenerateBenchModel(t *testing.T) {
+	if os.Getenv("GLIDER_REGEN_BENCH_MODEL") == "" {
+		t.Skip("set GLIDER_REGEN_BENCH_MODEL=1 to retrain and rewrite benchmodel.gob (full-fidelity training run)")
+	}
+	est, rep, err := estimate.Train(context.Background(), BenchTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create("benchmodel.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := est.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("retrained on %d cells: mean MAE miss %.4f, max bound %.4f", rep.Cells, rep.MeanMAEMiss, rep.MaxQMiss)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"glider/internal/estimate"
+	"glider/internal/policy"
+)
+
+// ------------------------------------------------------------ Estimate study
+//
+// The estimate study is the cmd/experiments "estimate" subcommand: train a
+// surrogate on one seed, evaluate it (held-out MAE and conformal bounds per
+// policy), then prune a thousand-cell sweep at a different seed with it —
+// the end-to-end recipe DESIGN.md §15 documents.
+
+// EstimateTrainWorkloads is the study's training set: the paper's offline
+// benchmarks plus SPEC and service-shaped (Zipf/mix) workloads for hull
+// width. Every fourth workload is held out for calibration.
+func EstimateTrainWorkloads() []string {
+	return []string{
+		"mcf", "omnetpp", "soplex", "sphinx3",
+		"astar", "lbm", "libquantum", "milc",
+		"bwaves", "gcc",
+		"zipf(objects=65536,skew=0.9)",
+		"mix(rr,zipf(objects=49152,skew=0.9),mcf)",
+	}
+}
+
+// EstimateStudy is the estimate subcommand's result.
+type EstimateStudy struct {
+	Train estimate.Report `json:"train"`
+	Sweep Sweep           `json:"sweep"`
+}
+
+// Render writes the training evaluation followed by the pruned sweep.
+func (e EstimateStudy) Render(w io.Writer) {
+	e.Train.Render(w)
+	fmt.Fprintln(w)
+	e.Sweep.Render(w)
+}
+
+// RunEstimate trains a surrogate at seed cfg.Seed+1 and prunes the sweep
+// grid at cfg.Seed — cross-seed on purpose, so the surrogate predicts
+// traces it never saw and the confidence gate does real work. sweepSpecs
+// overrides the sweep workloads (nil means the thousand-cell default grid).
+func RunEstimate(cfg Config, sweepSpecs []string) (EstimateStudy, error) {
+	est, report, err := estimate.Train(context.Background(), estimate.TrainConfig{
+		Workloads:    EstimateTrainWorkloads(),
+		Policies:     policy.Names(),
+		AccessesList: []int{cfg.Accesses},
+		Seed:         cfg.Seed + 1,
+		Workers:      cfg.Workers,
+		Progress:     cfg.Progress,
+		Obs:          cfg.Obs,
+		Sink:         cfg.Sink,
+	})
+	if err != nil {
+		return EstimateStudy{}, err
+	}
+	sweep, err := RunSweepPruned(cfg, SweepOptions{Workloads: sweepSpecs, Estimator: est})
+	if err != nil {
+		return EstimateStudy{}, err
+	}
+	return EstimateStudy{Train: report, Sweep: sweep}, nil
+}

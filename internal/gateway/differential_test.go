@@ -136,12 +136,70 @@ func TestDifferentialClusterPredictMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestDifferentialClusterEstimateMatchesDirect drives /v1/estimate through
+// the gateway to a real fleet and demands byte-identity with a direct
+// experiments.RunEstimateCell — on both the surrogate path (a cell inside
+// the default model's training hull) and the exact-fallback path (a trace
+// length the confidence gate refuses). The attribution header must name the
+// same source as the payload on every tier, including a gateway-cache hit.
+func TestDifferentialClusterEstimateMatchesDirect(t *testing.T) {
+	c := newCluster(t, 3, realCellExec, nil)
+
+	cells := []struct {
+		policy     string
+		accesses   int
+		wantSource string
+	}{
+		{"lru", 6_000, experiments.SourceSurrogate},
+		{"glider", 20_000, experiments.SourceSurrogate},
+		{"lru", 60_000, experiments.SourceExactFallback},
+	}
+	for _, cell := range cells {
+		direct, err := experiments.RunEstimateCell(context.Background(), "omnetpp", cell.policy, cell.accesses, 42)
+		if err != nil {
+			t.Fatalf("direct estimate %s/%d: %v", cell.policy, cell.accesses, err)
+		}
+		if direct.Source != cell.wantSource {
+			t.Fatalf("direct estimate %s/%d: source %q, want %q (reason %q)",
+				cell.policy, cell.accesses, direct.Source, cell.wantSource, direct.Reason)
+		}
+		want, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf(`{"workload":"omnetpp","policy":%q,"accesses":%d,"seed":42}`, cell.policy, cell.accesses)
+		// Twice: the first answer comes from a backend, the second from the
+		// gateway cache. Both must carry identical bytes and attribution.
+		for _, pass := range []string{"backend", "gateway-cache"} {
+			status, hdr, data := postJSON(t, c.ts, "/v1/estimate", body)
+			if status != http.StatusOK {
+				t.Fatalf("estimate %s/%d (%s): status %d body %s", cell.policy, cell.accesses, pass, status, data)
+			}
+			env := decodeEnvelope(t, data)
+			if !bytes.Equal(env.Result, want) {
+				t.Errorf("estimate %s/%d (%s): gateway bytes diverge from direct run\n gateway: %s\n  direct: %s",
+					cell.policy, cell.accesses, pass, env.Result, want)
+			}
+			if got := hdr.Get(server.EstimateHeader); got != cell.wantSource {
+				t.Errorf("estimate %s/%d (%s): %s header %q, want %q",
+					cell.policy, cell.accesses, pass, server.EstimateHeader, got, cell.wantSource)
+			}
+		}
+	}
+}
+
 // realCellExec is the production executor pair, minus the server's own
 // plumbing: exactly what cmd/gliderd wires in.
 func realCellExec(ctx context.Context, spec server.JobSpec) (json.RawMessage, error) {
 	switch spec.Kind {
 	case server.KindPredict:
 		res, err := experiments.RunPredictCell(ctx, spec.Workload, spec.Policy, spec.Accesses, spec.Seed, spec.TopPCs, spec.ISVMRows)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	case server.KindEstimate:
+		res, err := experiments.RunEstimateCell(ctx, spec.Workload, spec.Policy, spec.Accesses, spec.Seed)
 		if err != nil {
 			return nil, err
 		}

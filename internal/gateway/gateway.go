@@ -355,9 +355,10 @@ func (g *Gateway) cacheAdd(hash string, res json.RawMessage) {
 // CacheHeader reports which tier served a job: "gateway", "node", or "miss".
 const CacheHeader = "X-Gliderd-Cache"
 
-// Handler mounts the gateway API: the same /v1/sim and /v1/predict contract
-// as a single gliderd node (so internal/client works unchanged against a
-// fleet), plus the gateway's own /healthz, /metrics, and proxied catalog.
+// Handler mounts the gateway API: the same /v1/sim, /v1/predict, and
+// /v1/estimate contract as a single gliderd node (so internal/client works
+// unchanged against a fleet), plus the gateway's own /healthz, /metrics, and
+// proxied catalog.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -365,6 +366,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/catalog", g.handleCatalog)
 	mux.HandleFunc("POST /v1/sim", g.handleJob(server.KindSim, "sim"))
 	mux.HandleFunc("POST /v1/predict", g.handleJob(server.KindPredict, "predict"))
+	mux.HandleFunc("POST /v1/estimate", g.handleJob(server.KindEstimate, "estimate"))
 	return mux
 }
 
@@ -389,9 +391,21 @@ func (g *Gateway) handleJob(kind, endpoint string) http.HandlerFunc {
 			return
 		}
 		hash := spec.Hash()
+		// stampEstimate re-derives the attribution header from the result
+		// body, so gateway-cache hits carry the same provenance a backend
+		// answer would.
+		stampEstimate := func(res json.RawMessage) {
+			if kind != server.KindEstimate {
+				return
+			}
+			if src := server.EstimateSource(res); src != "" {
+				w.Header().Set(server.EstimateHeader, src)
+			}
+		}
 		if res, ok := g.cacheGet(hash); ok {
 			g.cacheHits.Inc()
 			w.Header().Set(CacheHeader, "gateway")
+			stampEstimate(res)
 			writeJSON(w, http.StatusOK, server.Envelope{Hash: hash, Cached: true, Result: res})
 			return
 		}
@@ -410,6 +424,7 @@ func (g *Gateway) handleJob(kind, endpoint string) http.HandlerFunc {
 			tier = "node"
 		}
 		w.Header().Set(CacheHeader, tier)
+		stampEstimate(env.Result)
 		writeJSON(w, http.StatusOK, server.Envelope{Hash: hash, Cached: env.Cached, Result: env.Result})
 	}
 }

@@ -51,6 +51,30 @@ func LoadAttentionLSTM(r io.Reader) (*AttentionLSTM, error) {
 	return m, nil
 }
 
+// intLinearSnapshot is the IntLinear's on-disk representation. The weights
+// are stored in their quantized int16 form, so a round trip is exact by
+// construction — no float re-rounding on load.
+type intLinearSnapshot struct {
+	W     []int16
+	Scale float64
+	Bias  float64
+}
+
+// Save serializes the quantized linear model.
+func (m *IntLinear) Save(w io.Writer) error {
+	snap := intLinearSnapshot{W: append([]int16(nil), m.W...), Scale: m.Scale, Bias: m.Bias}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadIntLinear reconstructs a model saved with Save.
+func LoadIntLinear(r io.Reader) (*IntLinear, error) {
+	var snap intLinearSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ml: decoding IntLinear: %w", err)
+	}
+	return &IntLinear{W: snap.W, Scale: snap.Scale, Bias: snap.Bias}, nil
+}
+
 // mlpSnapshot is the MLP's on-disk representation.
 type mlpSnapshot struct {
 	In, Hidden int

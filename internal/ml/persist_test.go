@@ -86,3 +86,48 @@ func TestLoadMLPRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestIntLinearSaveLoadRoundTrip(t *testing.T) {
+	// Fit on a tiny synthetic system so the quantized weights are nontrivial.
+	X := [][]float64{
+		{1, 0, -1}, {0.5, 2, 0}, {-1, 1, 1}, {2, -0.5, 0.25},
+		{0, 0, 1}, {1, 1, 1}, {-0.5, -2, 0.5}, {0.25, 0.75, -1.5},
+	}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 0.3 + 0.8*x[0] - 0.2*x[1] + 0.05*x[2]
+	}
+	m, err := FitRidgeQuantized(X, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIntLinear(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quantized weights ARE the model: the snapshot must be exact, down
+	// to every int16 weight and the float scale/bias bits.
+	if len(loaded.W) != len(m.W) || loaded.Scale != m.Scale || loaded.Bias != m.Bias {
+		t.Fatalf("loaded model differs: %+v vs %+v", loaded, m)
+	}
+	for i := range m.W {
+		if loaded.W[i] != m.W[i] {
+			t.Fatalf("weight %d: %d != %d", i, loaded.W[i], m.W[i])
+		}
+	}
+	for _, x := range X {
+		if got, want := loaded.Predict(x), m.Predict(x); got != want {
+			t.Fatalf("prediction diverges after round trip: %v != %v", got, want)
+		}
+	}
+}
+
+func TestLoadIntLinearRejectsGarbage(t *testing.T) {
+	if _, err := LoadIntLinear(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -152,6 +152,106 @@ func TestPredictHappyPath(t *testing.T) {
 	}
 }
 
+// TestEstimateHappyPathAndAttribution exercises both /v1/estimate paths:
+// a cell inside the default model's training hull answers from the
+// surrogate with explicit bounds, a trace length outside it falls back to
+// exact simulation — and in both cases the X-Gliderd-Estimate header names
+// the same source as the payload, the result is byte-identical to a direct
+// experiments.RunEstimateCell, and a repeat request hits the cache with the
+// header intact.
+func TestEstimateHappyPathAndAttribution(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	check := func(body, wantSource string) Envelope {
+		t.Helper()
+		status, hdr, data := postJSON(t, ts, "/v1/estimate", body)
+		if status != http.StatusOK {
+			t.Fatalf("estimate: status %d, body %s", status, data)
+		}
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatal(err)
+		}
+		var res experiments.EstimateResult
+		if err := json.Unmarshal(env.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Source != wantSource {
+			t.Fatalf("source %q (reason %q), want %q", res.Source, res.Reason, wantSource)
+		}
+		if got := hdr.Get(EstimateHeader); got != wantSource {
+			t.Fatalf("%s header %q, want %q", EstimateHeader, got, wantSource)
+		}
+		if res.LLCMissRate < 0 || res.LLCMissRate > 1 || res.IPC <= 0 {
+			t.Fatalf("implausible estimate: %+v", res)
+		}
+		return env
+	}
+
+	// Surrogate path: omnetpp at 6000 accesses sits inside the default
+	// training hull. A surrogate number must carry its error bounds.
+	surrogateBody := `{"workload":"omnetpp","policy":"lru","accesses":6000,"seed":7}`
+	env := check(surrogateBody, experiments.SourceSurrogate)
+	var sur experiments.EstimateResult
+	if err := json.Unmarshal(env.Result, &sur); err != nil {
+		t.Fatal(err)
+	}
+	if sur.MissRateBound <= 0 || sur.IPCBound <= 0 {
+		t.Fatalf("surrogate answer without bounds: %+v", sur)
+	}
+
+	// Byte-identity with the direct entry point (same process, same model).
+	direct, err := experiments.RunEstimateCell(context.Background(), "omnetpp", "lru", 6000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env.Result, want) {
+		t.Fatalf("server estimate diverges from direct run:\n server: %s\n direct: %s", env.Result, want)
+	}
+
+	// Repeat: cache hit, identical bytes, header still attributed.
+	status, hdr, data := postJSON(t, ts, "/v1/estimate", surrogateBody)
+	if status != http.StatusOK {
+		t.Fatalf("cached estimate: status %d", status)
+	}
+	var env2 Envelope
+	if err := json.Unmarshal(data, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if !env2.Cached || !bytes.Equal(env2.Result, env.Result) {
+		t.Fatalf("second response: cached=%v, want cache hit with identical bytes", env2.Cached)
+	}
+	if got := hdr.Get(EstimateHeader); got != experiments.SourceSurrogate {
+		t.Fatalf("cached %s header %q", EstimateHeader, got)
+	}
+
+	// Fallback path: 60000 accesses is far outside the training hull's
+	// log2_accesses span, so the gate refuses and the exact numbers must
+	// match a plain simulation of the same cell.
+	env = check(`{"workload":"omnetpp","policy":"lru","accesses":60000,"seed":42}`, experiments.SourceExactFallback)
+	var fb experiments.EstimateResult
+	if err := json.Unmarshal(env.Result, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Reason == "" {
+		t.Fatal("fallback without a reason")
+	}
+	if fb.MissRateBound != 0 || fb.IPCBound != 0 {
+		t.Fatalf("exact fallback carries bounds: %+v", fb)
+	}
+	exact, err := experiments.RunCell(context.Background(), "omnetpp", "lru", 60000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.LLCMissRate != exact.LLCMissRate || fb.IPC != exact.IPC {
+		t.Fatalf("fallback numbers diverge from exact simulation: %+v vs %+v", fb, exact)
+	}
+}
+
 func TestMalformedRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
@@ -167,6 +267,8 @@ func TestMalformedRequests(t *testing.T) {
 		{"excessive accesses", "/v1/sim", `{"workload":"omnetpp","policy":"lru","accesses":999999999,"seed":1}`, 422},
 		{"negative timeout", "/v1/sim", `{"workload":"omnetpp","policy":"lru","accesses":1000,"timeout_ms":-1}`, 422},
 		{"kind mismatch", "/v1/sim", `{"kind":"predict","workload":"omnetpp","policy":"glider","accesses":1000}`, 422},
+		{"estimate kind on sim endpoint", "/v1/sim", `{"kind":"estimate","workload":"omnetpp","policy":"lru","accesses":1000}`, 422},
+		{"unknown kind", "/v1/estimate", `{"kind":"guess","workload":"omnetpp","policy":"lru","accesses":1000}`, 422},
 		{"predict without predictor", "/v1/predict", `{"workload":"omnetpp","policy":"lru","accesses":1000,"seed":1}`, 422},
 		{"predict top_pcs over limit", "/v1/predict", `{"workload":"omnetpp","policy":"glider","accesses":1000,"top_pcs":99999}`, 422},
 		{"empty batch", "/v1/batch", `{"jobs":[]}`, 422},

@@ -17,6 +17,12 @@ const (
 	// a workload and report per-PC verdicts plus Glider's ISVM rows
 	// (experiments.RunPredictCell).
 	KindPredict = "predict"
+	// KindEstimate is a surrogate estimate: the learned proxy simulator
+	// answers when its confidence gate accepts the cell and falls back to
+	// exact simulation otherwise (experiments.RunEstimateCell). The result
+	// names its provenance in the "source" field, echoed in the
+	// X-Gliderd-Estimate response header.
+	KindEstimate = "estimate"
 )
 
 // JobSpec is the wire format of one job. The zero values of the optional
@@ -84,9 +90,9 @@ func (l Limits) defaulted() Limits {
 func (j *JobSpec) Validate(lim Limits) error {
 	lim = lim.defaulted()
 	switch j.Kind {
-	case KindSim, KindPredict:
+	case KindSim, KindPredict, KindEstimate:
 	default:
-		return &apiError{status: 422, msg: fmt.Sprintf("unknown job kind %q (want %q or %q)", j.Kind, KindSim, KindPredict)}
+		return &apiError{status: 422, msg: fmt.Sprintf("unknown job kind %q (want %q, %q, or %q)", j.Kind, KindSim, KindPredict, KindEstimate)}
 	}
 	spec, err := workload.Resolve(j.Workload)
 	if err != nil {
@@ -106,7 +112,9 @@ func (j *JobSpec) Validate(lim Limits) error {
 		return &apiError{status: 422, msg: "top_pcs, isvm_rows, and timeout_ms must be non-negative"}
 	}
 	switch j.Kind {
-	case KindSim:
+	case KindSim, KindEstimate:
+		// Estimate jobs share sim's identity fields; report-size knobs do
+		// not apply, so zero them for a canonical hash.
 		j.TopPCs, j.ISVMRows = 0, 0
 	case KindPredict:
 		if !predictorCapable(j.Policy) {

@@ -18,7 +18,7 @@ func TestHashDistinctAcrossIdentityFields(t *testing.T) {
 		}
 		seen[h] = spec
 	}
-	for _, kind := range []string{KindSim, KindPredict} {
+	for _, kind := range []string{KindSim, KindPredict, KindEstimate} {
 		for _, wl := range []string{"omnetpp", "mcf", "bfs"} {
 			for _, pol := range []string{"lru", "glider", "hawkeye", "ship++"} {
 				for _, acc := range []int{1000, 60000, 1000000} {
@@ -29,8 +29,8 @@ func TestHashDistinctAcrossIdentityFields(t *testing.T) {
 			}
 		}
 	}
-	if len(seen) != 2*3*4*3*5 {
-		t.Fatalf("expected %d distinct hashes, got %d", 2*3*4*3*5, len(seen))
+	if len(seen) != 3*3*4*3*5 {
+		t.Fatalf("expected %d distinct hashes, got %d", 3*3*4*3*5, len(seen))
 	}
 }
 

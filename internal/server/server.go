@@ -10,7 +10,8 @@
 // rejected with 503.
 //
 // Because results are produced by the same experiments entry points a
-// direct run uses (experiments.RunCell / RunPredictCell) and cached as
+// direct run uses (experiments.RunCell / RunPredictCell / RunEstimateCell)
+// and cached as
 // marshaled bytes, a server response's result field is byte-identical to a
 // direct run — the property the differential test suite pins.
 package server
@@ -341,6 +342,12 @@ func (s *Server) exec(ctx context.Context, spec JobSpec) (json.RawMessage, error
 			return nil, err
 		}
 		return json.Marshal(res)
+	case KindEstimate:
+		res, err := experiments.RunEstimateCell(ctx, spec.Workload, spec.Policy, spec.Accesses, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
 	default:
 		return nil, &apiError{status: 422, msg: fmt.Sprintf("unknown job kind %q", spec.Kind)}
 	}
@@ -436,6 +443,25 @@ func (s *Server) cacheAdd(hash string, res json.RawMessage) {
 // request (set only when Config.ShardID is non-empty).
 const ShardHeader = "X-Gliderd-Shard"
 
+// EstimateHeader is the response header on /v1/estimate answers naming the
+// result's provenance — "surrogate" or "exact-fallback" — mirroring the
+// result's "source" field so clients and proxies can attribute an answer
+// without parsing the body.
+const EstimateHeader = "X-Gliderd-Estimate"
+
+// EstimateSource extracts the "source" field from a marshaled estimate
+// result ("" when absent). The gateway reuses it to stamp the attribution
+// header on estimate responses it answers from its own cache.
+func EstimateSource(res json.RawMessage) string {
+	var v struct {
+		Source string `json:"source"`
+	}
+	if json.Unmarshal(res, &v) != nil {
+		return ""
+	}
+	return v.Source
+}
+
 // Health is the /healthz payload: the coarse state string ("ok" or
 // "draining"), the shard identity, and queue occupancy, so a gateway can
 // both gate membership on Status and see saturation building before it
@@ -456,6 +482,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /v1/sim", s.handleJob(KindSim, "sim"))
 	mux.HandleFunc("POST /v1/predict", s.handleJob(KindPredict, "predict"))
+	mux.HandleFunc("POST /v1/estimate", s.handleJob(KindEstimate, "estimate"))
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	if s.cfg.ShardID == "" {
 		return mux
@@ -530,6 +557,11 @@ func (s *Server) handleJob(kind, endpoint string) http.HandlerFunc {
 		if err != nil {
 			s.writeError(w, endpoint, err)
 			return
+		}
+		if spec.Kind == KindEstimate {
+			if src := EstimateSource(res); src != "" {
+				w.Header().Set(EstimateHeader, src)
+			}
 		}
 		writeJSON(w, http.StatusOK, Envelope{Hash: spec.Hash(), Cached: cached, Result: res})
 	}

@@ -5,10 +5,23 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// TestMain raises GOMAXPROCS so the pool paths stay exercised everywhere:
+// Run clamps Workers to the available CPUs, which on a single-CPU machine
+// would silently turn every multi-worker test in this file into a
+// serial-path test.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
 
 // squareJobs builds n jobs whose values are seed-driven pseudo-random
 // numbers, exercising the per-job seeding path end to end.
