@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke gateway-smoke estimate-smoke soak
+.PHONY: build test race bench bench-sim bench-smoke vet ci cover metrics-smoke fuzz-smoke server-smoke gateway-smoke estimate-smoke ledger-smoke soak
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,9 @@ fuzz-smoke:
 	$(GO) test ./internal/gateway/ -run '^FuzzRingChurn$$' -fuzz '^FuzzRingChurn$$' -fuzztime 10s
 	$(GO) test ./internal/policy/ -run '^FuzzFRDAccess$$' -fuzz '^FuzzFRDAccess$$' -fuzztime 10s
 	$(GO) test ./internal/policy/ -run '^FuzzMSAAccess$$' -fuzz '^FuzzMSAAccess$$' -fuzztime 10s
+	$(GO) test ./internal/ledger/ -run '^FuzzCanonicalize$$' -fuzz '^FuzzCanonicalize$$' -fuzztime 10s
+	$(GO) test ./internal/ledger/ -run '^FuzzRecordScan$$' -fuzz '^FuzzRecordScan$$' -fuzztime 10s
+	$(GO) test ./internal/ledger/ -run '^FuzzProofVerify$$' -fuzz '^FuzzProofVerify$$' -fuzztime 10s
 
 # server-smoke runs the gliderd service layer and its typed client under the
 # race detector — the fast (-short) subset, mirroring CI's server-smoke job.
@@ -92,6 +95,20 @@ ingest-smoke:
 estimate-smoke:
 	$(GO) test -race -count 1 ./internal/estimate/...
 	$(GO) test -race -count 1 -run 'TestSweepPruned|TestBenchModel|TestEstimate' ./internal/experiments/
+
+# ledger-smoke runs the tamper-evidence wall under the race detector: the
+# ledger package itself (canonical JSON, Merkle batches, chain links, crash
+# recovery, the corpus-backed fuzz seeds), the audit CLI's corruption drill,
+# and the cross-layer recording suites (server, gateway fleet, experiments).
+# Then it proves the loop outside the test harness: anchor a real zoo run to
+# a disk ledger with cmd/experiments and audit the file with cmd/audit.
+ledger-smoke:
+	$(GO) test -race -count 1 ./internal/ledger/ ./cmd/audit/
+	$(GO) test -race -count 1 -run 'Ledger' ./internal/server/ ./internal/gateway/ ./internal/experiments/
+	rm -f /tmp/glider-ledger-smoke.ledger
+	$(GO) run ./cmd/experiments -quick -accesses 20000 -ledger /tmp/glider-ledger-smoke.ledger zoo
+	$(GO) run ./cmd/audit verify -ledger /tmp/glider-ledger-smoke.ledger
+	$(GO) run ./cmd/audit root -ledger /tmp/glider-ledger-smoke.ledger
 
 # soak drives sustained concurrent load (real simulations, cache churn,
 # mixed sim/predict traffic) through a live server under -race.

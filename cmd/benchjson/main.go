@@ -12,7 +12,7 @@
 // a machine-readable regression report, making BENCH files enforceable
 // rather than descriptive:
 //
-//	benchjson -compare BENCH_sim.json new.json -threshold 15
+//	benchjson -compare -threshold 15 BENCH_sim.json new.json
 //
 // exits nonzero when any benchmark's compared metric (default ns/op) grew
 // by more than the threshold percentage.
@@ -26,6 +26,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"glider/internal/ledger"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -123,7 +125,7 @@ func compareReports(old, new Report, metric string, thresholdPct float64) Compar
 	return cr
 }
 
-func runCompare(oldPath, newPath, metric string, thresholdPct float64, out string) int {
+func runCompare(oldPath, newPath, metric string, thresholdPct float64, out, ledgerPath string) int {
 	load := func(path string) (Report, error) {
 		var r Report
 		data, err := os.ReadFile(path)
@@ -164,10 +166,41 @@ func runCompare(oldPath, newPath, metric string, thresholdPct float64, out strin
 				d.Name, cr.Metric, d.Old, d.New, d.DeltaPct, thresholdPct)
 		}
 	}
+	if ledgerPath != "" {
+		if err := anchorCompare(ledgerPath, cr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: ledger:", err)
+			return 2
+		}
+	}
 	if cr.Regressions > 0 {
 		return 1
 	}
 	return 0
+}
+
+// anchorCompare records the comparison verdict as a content-addressed
+// "benchcompare" artifact, so a perf claim ("no regression against
+// BENCH_sim.json") is later provable with cmd/audit rather than taken on
+// faith from a CI log.
+func anchorCompare(path string, cr CompareReport) error {
+	b, err := ledger.OpenDisk(path)
+	if err != nil {
+		return err
+	}
+	l, err := ledger.New(b, ledger.Options{})
+	if err != nil {
+		return err
+	}
+	a, err := l.Append("benchcompare", cr)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: anchored comparison as artifact %s in %s\n", a.ID, path)
+	return nil
 }
 
 func main() {
@@ -175,6 +208,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two benchjson reports: benchjson -compare old.json new.json")
 	metric := flag.String("metric", "ns/op", "metric unit to compare in -compare mode")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare mode")
+	ledgerPath := flag.String("ledger", "", "in -compare mode, anchor the comparison report into this experiment ledger file")
 	flag.Parse()
 
 	if *compare {
@@ -182,7 +216,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *metric, *threshold, *out))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *metric, *threshold, *out, *ledgerPath))
 	}
 
 	rep := Report{Benchmarks: []Benchmark{}}

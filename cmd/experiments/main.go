@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/ledger"
 	"glider/internal/obs"
 	"glider/internal/prof"
 	"glider/internal/simrunner"
@@ -56,6 +57,7 @@ func main() {
 		sweepWLs = append(sweepWLs, s)
 		return nil
 	})
+	ledgerPath := flag.String("ledger", "", "record results into this append-only experiment ledger file (audit with cmd/audit)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (report with obsreport)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print a metrics summary to stderr when all experiments finish")
 	profiles := prof.Flags(flag.CommandLine)
@@ -127,6 +129,20 @@ func main() {
 	cfg.LSTM.Obs = cfg.Obs
 	cfg.LSTM.Sink = cfg.Sink
 
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		backend, err := ledger.OpenDisk(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: opening ledger:", err)
+			os.Exit(1)
+		}
+		if led, err = ledger.New(backend, ledger.Options{Obs: cfg.Obs}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: ledger failed verification:", err)
+			os.Exit(1)
+		}
+		experiments.SetLedger(led)
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table2|table3|table4|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations|extension|lineage|zoo|learned|estimate|all>...")
@@ -148,6 +164,20 @@ func main() {
 		}
 	}
 
+	if led != nil {
+		experiments.SetLedger(nil)
+		if err := led.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: closing ledger:", err)
+			os.Exit(1)
+		}
+		// Reopen read-only to report the durable head the audit CLI will see.
+		if b, err := ledger.ReadDisk(*ledgerPath); err == nil {
+			rep := ledger.Verify(b)
+			fmt.Fprintf(os.Stderr, "experiments: ledger %s anchored: %d artifacts in %d batches, chain %s\n",
+				*ledgerPath, rep.State.Artifacts, rep.State.Batches, rep.State.Chain)
+			b.Close()
+		}
+	}
 	if cfg.Sink != nil {
 		obs.EmitSnapshot(cfg.Sink, cfg.Obs)
 	}

@@ -25,6 +25,8 @@ import (
 	"syscall"
 	"time"
 
+	"glider/internal/ledger"
+	"glider/internal/obs"
 	"glider/internal/server"
 )
 
@@ -38,7 +40,28 @@ func main() {
 	maxAccesses := flag.Int("max-accesses", 2_000_000, "max accesses one job may request")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on shutdown")
 	shard := flag.String("shard", "", "shard identity reported in responses and /healthz (for fleet deployments)")
+	ledgerPath := flag.String("ledger", "", "append-only experiment ledger file; records every served result and serves /v1/ledger/{root,proof}")
+	flushEvery := flag.Duration("ledger-flush", 5*time.Second, "ledger anchoring interval (with -ledger)")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var led *ledger.Ledger
+	if *ledgerPath != "" {
+		backend, err := ledger.OpenDisk(*ledgerPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gliderd: opening ledger: %v\n", err)
+			os.Exit(1)
+		}
+		if backend.Torn() {
+			log.Printf("gliderd: ledger %s had a torn tail (crash mid-append); truncated to last complete record", *ledgerPath)
+		}
+		led, err = ledger.New(backend, ledger.Options{FlushEvery: *flushEvery, Obs: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gliderd: ledger failed verification: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("gliderd: ledger %s open: %+v", *ledgerPath, led.Root())
+	}
 
 	srv := server.New(server.Config{
 		QueueDepth:     *queueDepth,
@@ -48,6 +71,8 @@ func main() {
 		DefaultTimeout: *defaultTimeout,
 		Limits:         server.Limits{MaxAccesses: *maxAccesses},
 		ShardID:        *shard,
+		Obs:            reg,
+		Ledger:         led,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -67,6 +92,13 @@ func main() {
 		}
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("gliderd: shutdown: %v", err)
+		}
+		// Anchor whatever is still pending so the log closes on a batch
+		// boundary — a clean restart replays to exactly this head.
+		if led != nil {
+			if err := led.Close(); err != nil {
+				log.Printf("gliderd: closing ledger: %v", err)
+			}
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {

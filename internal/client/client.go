@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/ledger"
 	"glider/internal/obs"
 	"glider/internal/server"
 )
@@ -204,6 +206,21 @@ func (c *Client) Batch(ctx context.Context, jobs []server.JobSpec, fn func(i int
 func (c *Client) Catalog(ctx context.Context) (server.Catalog, error) {
 	var out server.Catalog
 	return out, c.getJSON(ctx, "/v1/catalog", &out)
+}
+
+// LedgerRoot fetches the server's experiment-ledger chain head. A server
+// without a ledger answers 404 (surfaced as *APIError).
+func (c *Client) LedgerRoot(ctx context.Context) (ledger.ChainState, error) {
+	var out ledger.ChainState
+	return out, c.getJSON(ctx, "/v1/ledger/root", &out)
+}
+
+// LedgerProof fetches the inclusion proof for a hex artifact ID. The proof
+// is returned as served; call Verify on it — the whole point is that the
+// client need not trust the server's answer.
+func (c *Client) LedgerProof(ctx context.Context, artifact string) (ledger.Proof, error) {
+	var out ledger.Proof
+	return out, c.getJSON(ctx, "/v1/ledger/proof?artifact="+url.QueryEscape(artifact), &out)
 }
 
 // Health reports the server's health state ("ok" or "draining"). A draining

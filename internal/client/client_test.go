@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"glider/internal/client"
 	"glider/internal/experiments"
+	"glider/internal/ledger"
 	"glider/internal/server"
 )
 
@@ -119,6 +122,71 @@ func TestClientEstimate(t *testing.T) {
 	if !again.Cached || again.Source != est.Source || !bytes.Equal(again.Raw, est.Raw) {
 		t.Fatalf("repeat estimate not a byte-identical cache hit: cached=%v source=%q", again.Cached, again.Source)
 	}
+}
+
+// TestClientLedger pins the typed ledger calls: the chain head and an
+// inclusion proof round-trip the wire, the proof verifies locally against
+// the artifact ID derived from the served bytes (the client never trusts
+// the server's answer), and a ledger-less server surfaces a typed 404.
+func TestClientLedger(t *testing.T) {
+	led, err := ledger.New(ledger.NewMemory(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := led.Close(); err != nil {
+			t.Errorf("ledger close: %v", err)
+		}
+	})
+	c, _ := newClient(t, server.Config{Executor: cannedExecutor, Ledger: led})
+	ctx := context.Background()
+
+	sim, err := c.Sim(ctx, server.JobSpec{Workload: "omnetpp", Policy: "lru", Accesses: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ledger.ArtifactIDFor(server.ArtifactKind(server.KindSim), sim.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head, err := c.LedgerRoot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Artifacts+head.Pending != 1 {
+		t.Fatalf("chain head %+v, want the one served result", head)
+	}
+
+	p, err := c.LedgerProof(ctx, id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Artifact != id.String() {
+		t.Fatalf("proof names %s, want %s", p.Artifact, id)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("proof does not verify: %v", err)
+	}
+
+	if _, err := c.LedgerProof(ctx, strings.Repeat("ab", 32)); !isStatus(err, 404) {
+		t.Fatalf("unknown artifact: %v, want 404", err)
+	}
+
+	// A server without a ledger answers 404 on both endpoints.
+	bare, _ := newClient(t, server.Config{Executor: cannedExecutor})
+	if _, err := bare.LedgerRoot(ctx); !isStatus(err, 404) {
+		t.Fatalf("root without ledger: %v, want 404", err)
+	}
+	if _, err := bare.LedgerProof(ctx, id.String()); !isStatus(err, 404) {
+		t.Fatalf("proof without ledger: %v, want 404", err)
+	}
+}
+
+// isStatus reports whether err is an *APIError with the given HTTP status.
+func isStatus(err error, status int) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == status
 }
 
 func TestClientBatchOrderAndStop(t *testing.T) {

@@ -57,7 +57,7 @@ func RunCell(ctx context.Context, workloadName, policyName string, accesses int,
 	if err != nil {
 		return CellResult{}, err
 	}
-	return CellResult{
+	out := CellResult{
 		Workload:     spec.Name,
 		Policy:       policyName,
 		Accesses:     accesses,
@@ -71,7 +71,9 @@ func RunCell(ctx context.Context, workloadName, policyName string, accesses int,
 		LLCMissRate:  res.LLC.MissRate(),
 		DRAMReads:    res.DRAM.Reads,
 		DRAMWrites:   res.DRAM.Writes,
-	}, nil
+	}
+	record(LedgerKindCell, out)
+	return out, nil
 }
 
 // PCVerdict is one PC's end-of-run friendly/averse classification.
@@ -178,5 +180,6 @@ func RunPredictCell(ctx context.Context, workloadName, policyName string, access
 	if mi, ok := h.LLC().Policy().(policy.ModelIntrospector); ok && isvmRows > 0 {
 		out.ModelRows = mi.TopModelRows(isvmRows)
 	}
+	record(LedgerKindPredict, out)
 	return out, nil
 }

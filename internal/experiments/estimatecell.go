@@ -49,7 +49,12 @@ func RunEstimateCell(ctx context.Context, workloadName, policyName string, acces
 	if err != nil {
 		return EstimateResult{}, err
 	}
-	return runEstimateCellWith(ctx, est, workloadName, policyName, accesses, seed)
+	out, err := runEstimateCellWith(ctx, est, workloadName, policyName, accesses, seed)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	record(LedgerKindEstimate, out)
+	return out, nil
 }
 
 // runEstimateCellWith is RunEstimateCell against a caller-supplied model

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"glider/internal/ledger"
+)
+
+// TestLedgerRecordsDirectRuns pins the experiment-layer recording contract:
+// with a ledger installed, RunCell anchors its result under the content
+// address any holder of the result bytes can derive, a repeated run dedupes
+// onto the same artifact, and removing the ledger stops recording. Not
+// parallel: it owns the package-global recorder for its duration.
+func TestLedgerRecordsDirectRuns(t *testing.T) {
+	led, err := ledger.New(ledger.NewMemory(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLedger(led)
+	defer SetLedger(nil)
+
+	res, err := RunCell(context.Background(), "omnetpp", "lru", 20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ledger.ArtifactIDFor(LedgerKindCell, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := led.Get(id)
+	if err != nil {
+		t.Fatalf("direct run was not recorded under its content address: %v", err)
+	}
+	if a.Kind != LedgerKindCell {
+		t.Fatalf("recorded kind %q", a.Kind)
+	}
+
+	// Determinism + content addressing: running the same cell again records
+	// nothing new.
+	if _, err := RunCell(context.Background(), "omnetpp", "lru", 20000, 11); err != nil {
+		t.Fatal(err)
+	}
+	if head := led.Root(); head.Artifacts+head.Pending != 1 {
+		t.Fatalf("repeat run grew the ledger: %+v", head)
+	}
+
+	// The anchored payload is provable and bit-identical to the result.
+	p, err := led.Prove(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := ledger.Canonicalize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Payload) != string(canon) {
+		t.Fatalf("anchored payload diverged:\n%s\n%s", a.Payload, canon)
+	}
+
+	// With the recorder removed, runs no longer touch the ledger.
+	SetLedger(nil)
+	if _, err := RunCell(context.Background(), "omnetpp", "lru", 20000, 12); err != nil {
+		t.Fatal(err)
+	}
+	if head := led.Root(); head.Artifacts != 1 || head.Pending != 0 {
+		t.Fatalf("recording continued after SetLedger(nil): %+v", head)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

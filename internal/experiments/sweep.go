@@ -152,6 +152,7 @@ func RunSweepExhaustive(cfg Config, opts SweepOptions) (Sweep, error) {
 	s.Cells = cells
 	s.ExactCells = len(cells)
 	s.computeFrontier()
+	record(LedgerKindSweep, s)
 	return s, nil
 }
 
@@ -291,6 +292,7 @@ func RunSweepPruned(cfg Config, opts SweepOptions) (Sweep, error) {
 		}
 	}
 	s.computeFrontier()
+	record(LedgerKindSweep, s)
 	return s, nil
 }
 

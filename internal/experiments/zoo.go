@@ -98,6 +98,7 @@ func RunZoo(cfg Config, specs []string) (Zoo, error) {
 		return Zoo{}, err
 	}
 	z.Cells = cells
+	record(LedgerKindZoo, z)
 	return z, nil
 }
 

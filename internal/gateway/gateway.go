@@ -364,6 +364,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/catalog", g.handleCatalog)
+	mux.HandleFunc("GET /v1/ledger/root", g.handleLedgerRoot)
+	mux.HandleFunc("GET /v1/ledger/proof", g.handleLedgerProof)
 	mux.HandleFunc("POST /v1/sim", g.handleJob(server.KindSim, "sim"))
 	mux.HandleFunc("POST /v1/predict", g.handleJob(server.KindPredict, "predict"))
 	mux.HandleFunc("POST /v1/estimate", g.handleJob(server.KindEstimate, "estimate"))
@@ -476,6 +478,43 @@ func (g *Gateway) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.writeError(w, "catalog", errNoBackends)
+}
+
+// handleLedgerRoot proxies the ledger chain head from the first live backend
+// that has one configured (nodes without a ledger answer 404 and are
+// skipped), so `audit root` against the gateway works like against a node.
+func (g *Gateway) handleLedgerRoot(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.http.ledger_root").Inc()
+	var lastErr error = errNoBackends
+	for _, name := range g.ring.Nodes() {
+		st, err := g.byName[name].c.LedgerRoot(r.Context())
+		if err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		lastErr = err
+	}
+	g.writeError(w, "ledger_root", lastErr)
+}
+
+// handleLedgerProof fans a proof request across the fleet in ring order and
+// answers with the first backend that holds the artifact. Jobs shard across
+// nodes, so no single backend's ledger holds every result; the fan-out makes
+// the fleet one queryable result store. All-miss surfaces the last backend's
+// 404.
+func (g *Gateway) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.http.ledger_proof").Inc()
+	artifact := r.URL.Query().Get("artifact")
+	var lastErr error = errNoBackends
+	for _, name := range g.ring.Nodes() {
+		p, err := g.byName[name].c.LedgerProof(r.Context(), artifact)
+		if err == nil {
+			writeJSON(w, http.StatusOK, p)
+			return
+		}
+		lastErr = err
+	}
+	g.writeError(w, "ledger_proof", lastErr)
 }
 
 // ------------------------------------------------------------ error plumbing

@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"glider/internal/experiments"
+	"glider/internal/ledger"
+	"glider/internal/server"
+)
+
+// The fleet ledger contract: every node records what it serves, and the
+// gateway makes the fleet one queryable result store — /v1/ledger/root
+// proxies a chain head, /v1/ledger/proof fans out across the ring and
+// returns the first hit, and a proof fetched through the gateway verifies
+// locally against an artifact ID derived from the served bytes (which in
+// turn equals the direct-run content address, closing the loop: gateway
+// result == node result == direct simulation, provably).
+
+// ledgerFleet is n real-executor gliderd nodes, each with its own
+// memory-backed ledger, behind one gateway.
+type ledgerFleet struct {
+	ledgers []*ledger.Ledger
+	ts      *httptest.Server
+}
+
+func newLedgerFleet(t *testing.T, n int) *ledgerFleet {
+	t.Helper()
+	f := &ledgerFleet{}
+	var bases []string
+	for i := 0; i < n; i++ {
+		led, err := ledger.New(ledger.NewMemory(), ledger.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ledgers = append(f.ledgers, led)
+		srv := server.New(server.Config{ShardID: fmt.Sprintf("s%d", i), Ledger: led})
+		nts := httptest.NewServer(srv.Handler())
+		bases = append(bases, nts.URL)
+		t.Cleanup(func() {
+			nts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			if err := led.Close(); err != nil {
+				t.Errorf("ledger close: %v", err)
+			}
+		})
+	}
+	gw := New(Config{Backends: bases, BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond, BackoffSeed: 1})
+	f.ts = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		f.ts.Close()
+		gw.Close()
+	})
+	return f
+}
+
+func TestGatewayFleetSharedLedger(t *testing.T) {
+	t.Parallel()
+	f := newLedgerFleet(t, 2)
+
+	// Serve a handful of distinct cells so work lands on both shards.
+	cells := []struct {
+		workload string
+		seed     int64
+	}{{"omnetpp", 1}, {"mcf", 2}, {"libquantum", 3}, {"omnetpp", 4}}
+	type served struct {
+		id  ledger.ID
+		raw json.RawMessage
+	}
+	var results []served
+	for _, c := range cells {
+		body := fmt.Sprintf(`{"workload":%q,"policy":"lru","accesses":20000,"seed":%d}`, c.workload, c.seed)
+		status, _, resp := postJSON(t, f.ts, "/v1/sim", body)
+		if status != http.StatusOK {
+			t.Fatalf("sim %s/%d: %d %s", c.workload, c.seed, status, resp)
+		}
+		var env server.Envelope
+		if err := json.Unmarshal(resp, &env); err != nil {
+			t.Fatal(err)
+		}
+		id, err := ledger.ArtifactIDFor(server.ArtifactKind(server.KindSim), env.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, served{id: id, raw: env.Result})
+	}
+
+	// The gateway publishes a chain head from the fleet.
+	status, _, body := getJSON(t, f.ts, "/v1/ledger/root")
+	if status != http.StatusOK {
+		t.Fatalf("root: %d %s", status, body)
+	}
+	var head ledger.ChainState
+	if err := json.Unmarshal(body, &head); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every served result is provable through the gateway, no matter which
+	// shard holds it — and the proof checks out locally.
+	for i, r := range results {
+		status, _, body := getJSON(t, f.ts, "/v1/ledger/proof?artifact="+r.id.String())
+		if status != http.StatusOK {
+			t.Fatalf("proof %d: %d %s", i, status, body)
+		}
+		var p ledger.Proof
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Artifact != r.id.String() {
+			t.Fatalf("proof %d names %s, want %s", i, p.Artifact, r.id)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("proof %d does not verify: %v", i, err)
+		}
+	}
+
+	// The differential anchor: the artifact ID of a gateway-served result
+	// equals the content address of a direct experiments run — routing,
+	// caches, and recording are all invisible in the anchored bytes.
+	direct, err := experiments.RunCell(context.Background(), "omnetpp", "lru", 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directID, err := ledger.ArtifactIDFor(experiments.LedgerKindCell, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].id != directID {
+		t.Fatalf("gateway artifact %s != direct-run artifact %s", results[0].id, directID)
+	}
+
+	// Across the fleet, exactly len(cells) artifacts were recorded in total:
+	// each job's owner shard recorded it once.
+	total := 0
+	for _, led := range f.ledgers {
+		st := led.Root()
+		total += st.Artifacts + st.Pending
+	}
+	if total != len(cells) {
+		t.Fatalf("fleet recorded %d artifacts, want %d", total, len(cells))
+	}
+
+	// An artifact no shard holds is a clean 404 after the fan-out.
+	missing := "00000000000000000000000000000000000000000000000000000000000000ee"
+	if status, _, body := getJSON(t, f.ts, "/v1/ledger/proof?artifact="+missing); status != http.StatusNotFound {
+		t.Fatalf("unknown artifact: %d %s", status, body)
+	}
+}

@@ -1,0 +1,306 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record types on the log. An artifact record's data is the canonical
+// artifact encoding; a batch record's data is the canonical batch-anchor
+// encoding.
+const (
+	RecordArtifact byte = 'A'
+	RecordBatch    byte = 'B'
+)
+
+// Record is one entry of the append-only log.
+type Record struct {
+	Type byte
+	Data []byte
+}
+
+// Backend is an append-only record log. Append must make the record
+// readable by a subsequent Read in the same process; Sync must make every
+// appended record durable (a no-op for volatile backends). Records are
+// immutable once appended — the ledger's tamper evidence assumes the log
+// only ever grows.
+type Backend interface {
+	// Append adds one record to the end of the log.
+	Append(rec Record) error
+	// Len returns the number of records.
+	Len() int
+	// Read returns record i (0-based).
+	Read(i int) (Record, error)
+	// Sync flushes appended records to durable storage.
+	Sync() error
+	// Close releases the backend. A closed backend rejects every other call.
+	Close() error
+}
+
+var errClosed = errors.New("ledger: backend is closed")
+
+// ------------------------------------------------------------------ memory
+
+// MemoryBackend is a volatile in-process log — the test and
+// single-process-cache backend.
+type MemoryBackend struct {
+	mu     sync.Mutex
+	recs   []Record
+	closed bool
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *MemoryBackend { return &MemoryBackend{} }
+
+// Append implements Backend. The record's data is copied.
+func (m *MemoryBackend) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	m.recs = append(m.recs, Record{Type: rec.Type, Data: append([]byte(nil), rec.Data...)})
+	return nil
+}
+
+// Len implements Backend.
+func (m *MemoryBackend) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
+}
+
+// Read implements Backend.
+func (m *MemoryBackend) Read(i int) (Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Record{}, errClosed
+	}
+	if i < 0 || i >= len(m.recs) {
+		return Record{}, fmt.Errorf("ledger: record %d out of range [0,%d)", i, len(m.recs))
+	}
+	return m.recs[i], nil
+}
+
+// Sync implements Backend (a no-op: memory is as durable as it gets).
+func (m *MemoryBackend) Sync() error { return nil }
+
+// Close implements Backend.
+func (m *MemoryBackend) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// -------------------------------------------------------------------- disk
+
+// Disk record framing: every record is
+//
+//	[4B little-endian length][4B little-endian CRC32-IEEE][type byte][data]
+//
+// where length = 1 + len(data) (the payload after the CRC) and the CRC
+// covers the payload. The framing makes two failure modes distinguishable:
+//
+//   - a torn tail — the file ends before the final record's payload does —
+//     is what a crash mid-append leaves behind; it is detected, reported,
+//     and (in writable mode) truncated away, and every earlier record is
+//     untouched;
+//   - a CRC mismatch on a complete record is corruption of data the log
+//     already made durable, which is never silently repaired.
+const (
+	diskHeaderLen = 8
+	// maxRecordLen bounds one record (64 MiB) so a corrupt length prefix
+	// cannot drive a giant allocation.
+	maxRecordLen = 64 << 20
+)
+
+// DiskBackend is a single-file append-only log with crash-safe
+// length-prefixed records.
+type DiskBackend struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	ro     bool
+	closed bool
+	// recs caches the decoded records; the file is the source of truth and
+	// is only ever appended to.
+	recs []Record
+	// torn reports that opening found (and, when writable, truncated) an
+	// incomplete final record.
+	torn bool
+}
+
+// OpenDisk opens (creating if needed) a disk-backed log for appending. A
+// torn final record — the signature of a crash mid-append — is truncated
+// away so the log is append-ready; Torn reports that this happened. A CRC
+// mismatch or framing violation anywhere else fails the open.
+func OpenDisk(path string) (*DiskBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b := &DiskBackend{f: f, path: path}
+	keep, err := b.load()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if b.torn {
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %s: truncating torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// ReadDisk opens a disk-backed log read-only — the audit mode. Nothing is
+// ever written: a torn tail is reported via Torn but left in place.
+func ReadDisk(path string) (*DiskBackend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &DiskBackend{f: f, path: path, ro: true}
+	if _, err := b.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// load scans the whole file, filling recs. It returns the byte offset of
+// the end of the last complete record and sets torn when trailing bytes
+// form an incomplete record.
+func (b *DiskBackend) load() (int64, error) {
+	data, err := io.ReadAll(b.f)
+	if err != nil {
+		return 0, err
+	}
+	recs, consumed, torn, err := scanRecords(data)
+	if err != nil {
+		return 0, fmt.Errorf("ledger: %s: %w", b.path, err)
+	}
+	b.recs, b.torn = recs, torn
+	return int64(consumed), nil
+}
+
+// Torn reports whether opening found an incomplete final record (truncated
+// away by OpenDisk, left in place by ReadDisk).
+func (b *DiskBackend) Torn() bool { return b.torn }
+
+// Append implements Backend.
+func (b *DiskBackend) Append(rec Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errClosed
+	}
+	if b.ro {
+		return fmt.Errorf("ledger: %s: append to read-only log", b.path)
+	}
+	payload := make([]byte, 1+len(rec.Data))
+	payload[0] = rec.Type
+	copy(payload[1:], rec.Data)
+	frame := make([]byte, diskHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[diskHeaderLen:], payload)
+	if _, err := b.f.Write(frame); err != nil {
+		return err
+	}
+	b.recs = append(b.recs, Record{Type: rec.Type, Data: append([]byte(nil), rec.Data...)})
+	return nil
+}
+
+// Len implements Backend.
+func (b *DiskBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Read implements Backend.
+func (b *DiskBackend) Read(i int) (Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Record{}, errClosed
+	}
+	if i < 0 || i >= len(b.recs) {
+		return Record{}, fmt.Errorf("ledger: record %d out of range [0,%d)", i, len(b.recs))
+	}
+	return b.recs[i], nil
+}
+
+// Sync implements Backend.
+func (b *DiskBackend) Sync() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errClosed
+	}
+	if b.ro {
+		return nil
+	}
+	return b.f.Sync()
+}
+
+// Close implements Backend.
+func (b *DiskBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	return b.f.Close()
+}
+
+// DecodeRecords parses raw disk-log bytes into records without touching the
+// filesystem — the decoder the fuzz target drives. It returns the records
+// decoded before the log ends, whether the tail is torn, and the first hard
+// framing/CRC error (nil when the log is clean or merely torn).
+func DecodeRecords(data []byte) ([]Record, bool, error) {
+	recs, _, torn, err := scanRecords(data)
+	return recs, torn, err
+}
+
+// scanRecords walks the framed log, returning the decoded records, the byte
+// offset past the last complete record, whether the tail is torn, and the
+// first hard framing/CRC error.
+func scanRecords(data []byte) (recs []Record, consumed int, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < diskHeaderLen {
+			return recs, off, true, nil
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 1 || n > maxRecordLen {
+			return recs, off, false, fmt.Errorf("record %d at offset %d: invalid length %d", len(recs), off, n)
+		}
+		if rest < diskHeaderLen+int(n) {
+			return recs, off, true, nil
+		}
+		payload := data[off+diskHeaderLen : off+diskHeaderLen+int(n)]
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			return recs, off, false, fmt.Errorf("record %d at offset %d: CRC mismatch (stored %08x, computed %08x)", len(recs), off, crc, got)
+		}
+		recs = append(recs, Record{Type: payload[0], Data: append([]byte(nil), payload[1:]...)})
+		off += diskHeaderLen + int(n)
+	}
+	return recs, off, false, nil
+}

@@ -1,0 +1,169 @@
+// Package ledger is a tamper-evident, content-addressed store for
+// experiment results. Every artifact is serialized to canonical JSON
+// (bytewise-sorted object keys, fixed number formatting, minimal string
+// escaping), content-addressed by the SHA-256 of those bytes, and anchored
+// into an append-only Merkle chain: artifacts accumulate into batches, each
+// batch's leaves form an RFC 6962-shaped Merkle tree, and every batch root
+// is chained to the previous one, so a single published chain root commits
+// to every result ever recorded. Backends are pluggable (in-memory, and a
+// single-file append-only disk log with crash-safe length-prefixed
+// records); cmd/audit replays a ledger, verifies every inclusion proof
+// against independently recomputed roots, and re-simulates historical
+// artifacts to prove them bit-identical.
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalJSON marshals v with encoding/json and rewrites the result into
+// canonical form. Two Go values that marshal to semantically equal JSON
+// yield byte-identical canonical encodings, on any machine — the property
+// that makes SHA-256 over these bytes a content address.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return Canonicalize(raw)
+}
+
+// Canonicalize rewrites one JSON value into canonical form:
+//
+//   - object keys sorted bytewise, duplicate keys collapsed to the last;
+//   - no insignificant whitespace;
+//   - strings minimally escaped (only `"`, `\`, and control characters;
+//     everything else is raw UTF-8);
+//   - integer literals (no '.', 'e', or 'E') kept verbatim; every other
+//     number reformatted as the shortest float64 round-trip form
+//     (strconv 'g', precision -1).
+//
+// Canonicalize is idempotent: Canonicalize(Canonicalize(x)) ==
+// Canonicalize(x), and decode→encode over canonical bytes is a fixpoint —
+// the properties the test wall pins.
+func Canonicalize(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("ledger: canonicalize: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("ledger: canonicalize: trailing data after JSON value")
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case string:
+		writeCanonicalString(buf, x)
+	case json.Number:
+		return writeCanonicalNumber(buf, string(x))
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeCanonicalString(buf, k)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("ledger: canonicalize: unexpected value type %T", v)
+	}
+	return nil
+}
+
+// writeCanonicalString escapes only what JSON requires: the quote, the
+// backslash, and control characters (common ones named, the rest \u00XX).
+// All other bytes — including multi-byte UTF-8 — pass through verbatim, so
+// the encoding is unique and decode→encode is a fixpoint.
+func writeCanonicalString(buf *bytes.Buffer, s string) {
+	const hex = "0123456789abcdef"
+	buf.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == '"':
+			buf.WriteString(`\"`)
+		case b == '\\':
+			buf.WriteString(`\\`)
+		case b >= 0x20:
+			buf.WriteByte(b)
+		case b == '\b':
+			buf.WriteString(`\b`)
+		case b == '\f':
+			buf.WriteString(`\f`)
+		case b == '\n':
+			buf.WriteString(`\n`)
+		case b == '\r':
+			buf.WriteString(`\r`)
+		case b == '\t':
+			buf.WriteString(`\t`)
+		default:
+			buf.WriteString(`\u00`)
+			buf.WriteByte(hex[b>>4])
+			buf.WriteByte(hex[b&0xf])
+		}
+	}
+	buf.WriteByte('"')
+}
+
+// writeCanonicalNumber emits the canonical form of one JSON number literal.
+// Integer literals are kept verbatim: they may carry more precision than a
+// float64 (uint64 block addresses, for one), and Go's encoder already
+// produces them canonically. Everything else round-trips through float64
+// and is reformatted with the shortest representation, which is itself a
+// formatting fixpoint.
+func writeCanonicalNumber(buf *bytes.Buffer, lit string) error {
+	if !strings.ContainsAny(lit, ".eE") {
+		buf.WriteString(lit)
+		return nil
+	}
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return fmt.Errorf("ledger: canonicalize: number %q: %w", lit, err)
+	}
+	buf.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	return nil
+}

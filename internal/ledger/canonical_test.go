@@ -1,0 +1,266 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+func TestCanonicalizeTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{`{}`, `{}`},
+		{`[]`, `[]`},
+		{`null`, `null`},
+		{`true`, `true`},
+		{`false`, `false`},
+		{`"a"`, `"a"`},
+		{` { "b" : 1 , "a" : 2 } `, `{"a":2,"b":1}`},
+		{`{"b":1,"a":2,"b":3}`, `{"a":2,"b":3}`}, // duplicate keys: last wins
+		{`[1, 2,3]`, `[1,2,3]`},
+		// Integer literals are kept verbatim, including beyond float64
+		// precision.
+		{`18446744073709551615`, `18446744073709551615`},
+		{`-9223372036854775808`, `-9223372036854775808`},
+		{`-0`, `-0`},
+		// Non-integer literals round-trip through float64 shortest form.
+		{`1e3`, `1000`},
+		{`1E3`, `1000`},
+		{`0.5e1`, `5`},
+		{`2.0`, `2`},
+		{`0.1`, `0.1`},
+		{`-0.0`, `-0`},
+		{`1e21`, `1e+21`},
+		{`1e-7`, `1e-07`},
+		{`0.30000000000000004`, `0.30000000000000004`},
+		// Strings: minimal escaping, UTF-8 passthrough, \u unescaping.
+		{`"A"`, `"A"`},
+		{`"é"`, `"é"`},
+		{`"a\/b"`, `"a/b"`},
+		{`"tab\tnewline\nquote\"backslash\\"`, `"tab\tnewline\nquote\"backslash\\"`},
+		{`"\u0001"`, `"\u0001"`},
+		{`"\u001F"`, `"\u001f"`},
+		{`"\u0041"`, `"A"`},
+		{`{"x":[{"z":1,"y":[true,null]},"s"]}`, `{"x":[{"y":[true,null],"z":1},"s"]}`},
+	}
+	for _, c := range cases {
+		got, err := Canonicalize([]byte(c.in))
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+		// Idempotence on every case.
+		again, err := Canonicalize(got)
+		if err != nil {
+			t.Fatalf("Canonicalize(Canonicalize(%q)): %v", c.in, err)
+		}
+		if !bytes.Equal(again, got) {
+			t.Errorf("Canonicalize not idempotent on %q: %q -> %q", c.in, got, again)
+		}
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{
+		``, `{`, `[1,`, `"unterminated`, `{"a":}`, `nul`,
+		`1 2`, `{} []`, `{}x`,
+		`1e999`,   // overflows float64
+		`-1.e999`, // ditto, negative
+	} {
+		if _, err := Canonicalize([]byte(in)); err == nil {
+			t.Errorf("Canonicalize(%q): expected error", in)
+		}
+	}
+}
+
+// randJSON builds a random JSON value tree. Numbers come from a mix of
+// integers, small decimals, and pathological floats; strings mix ASCII,
+// UTF-8, and control characters.
+func randJSON(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return nil
+		case 1:
+			return r.Intn(2) == 0
+		case 2:
+			return randNumber(r)
+		default:
+			return randString(r)
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return r.Intn(2) == 0
+	case 2:
+		return randNumber(r)
+	case 3:
+		return randString(r)
+	case 4:
+		n := r.Intn(5)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randJSON(r, depth-1)
+		}
+		return arr
+	default:
+		n := r.Intn(5)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[randString(r)] = randJSON(r, depth-1)
+		}
+		return m
+	}
+}
+
+func randNumber(r *rand.Rand) json.Number {
+	switch r.Intn(5) {
+	case 0:
+		return json.Number(strconv.FormatInt(r.Int63()-r.Int63(), 10))
+	case 1:
+		return json.Number(strconv.FormatUint(r.Uint64(), 10))
+	case 2:
+		return json.Number(strconv.FormatFloat(r.NormFloat64(), 'g', -1, 64))
+	case 3:
+		return json.Number(strconv.FormatFloat(r.Float64()*math.Pow(10, float64(r.Intn(40)-20)), 'g', -1, 64))
+	default:
+		return json.Number(fmt.Sprintf("%d.%04de%d", r.Intn(100), r.Intn(10000), r.Intn(30)-15))
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			b = append(b, rune(r.Intn(0x20))) // control characters
+		case 1:
+			b = append(b, rune(0x80+r.Intn(0x2000))) // multi-byte runes
+		default:
+			b = append(b, rune(0x20+r.Intn(0x5f)))
+		}
+	}
+	return string(b)
+}
+
+// emitShuffled serializes a value like encoding/json would, except object
+// keys are emitted in a random order — the adversarial spelling the
+// canonicalizer must collapse.
+func emitShuffled(r *rand.Rand, buf *bytes.Buffer, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		r.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, _ := json.Marshal(k)
+			buf.Write(kb)
+			buf.WriteString(": ")
+			emitShuffled(r, buf, x[k])
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteString(" ,")
+			}
+			emitShuffled(r, buf, e)
+		}
+		buf.WriteByte(']')
+	default:
+		b, err := json.Marshal(x)
+		if err != nil {
+			panic(err)
+		}
+		buf.Write(b)
+	}
+}
+
+// TestCanonicalKeyOrderInvariance is the key-order fuzz of the satellite
+// checklist: random JSON trees emitted with randomly shuffled key orders
+// (and erratic whitespace) must canonicalize to byte-identical forms, and
+// encode→decode→encode must be a fixpoint.
+func TestCanonicalKeyOrderInvariance(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := randJSON(r, 4)
+		ref, err := CanonicalJSON(v)
+		if err != nil {
+			t.Fatalf("case %d: CanonicalJSON: %v", i, err)
+		}
+		for variant := 0; variant < 3; variant++ {
+			var buf bytes.Buffer
+			emitShuffled(r, &buf, v)
+			got, err := Canonicalize(buf.Bytes())
+			if err != nil {
+				t.Fatalf("case %d variant %d: Canonicalize(%q): %v", i, variant, buf.Bytes(), err)
+			}
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("case %d variant %d: key order changed canonical form:\n shuffled %q\n got  %q\n want %q", i, variant, buf.Bytes(), got, ref)
+			}
+		}
+		// decode→encode fixpoint over the canonical bytes.
+		again, err := Canonicalize(ref)
+		if err != nil {
+			t.Fatalf("case %d: re-canonicalize: %v", i, err)
+		}
+		if !bytes.Equal(again, ref) {
+			t.Fatalf("case %d: canonical form is not a fixpoint: %q -> %q", i, ref, again)
+		}
+	}
+}
+
+// TestCanonicalStructRoundTrip pins the struct→canonical→struct→canonical
+// fixpoint for a result-shaped payload, including uint64 fields past float64
+// precision.
+func TestCanonicalStructRoundTrip(t *testing.T) {
+	t.Parallel()
+	type res struct {
+		Workload string  `json:"workload"`
+		Accesses uint64  `json:"accesses"`
+		Miss     float64 `json:"miss"`
+		IPC      float64 `json:"ipc"`
+	}
+	in := res{Workload: "omnetpp", Accesses: 18446744073709551615, Miss: 0.30000000000000004, IPC: 1.0 / 3.0}
+	c1, err := CanonicalJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back res
+	if err := json.Unmarshal(c1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("canonical JSON lost information: %+v != %+v", back, in)
+	}
+	c2, err := CanonicalJSON(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("encode→decode→encode is not a fixpoint: %q vs %q", c1, c2)
+	}
+}

@@ -1,0 +1,140 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzCanonicalize checks the canonicalizer's core invariant on arbitrary
+// bytes: whatever it accepts, it accepts again, to the same bytes (a
+// fixpoint), and the output is valid JSON.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add([]byte(`{"b":1,"a":2}`))
+	f.Add([]byte(`[1.5e300, "é!", {"k": [null, true]}]`))
+	f.Add([]byte(`18446744073709551615`))
+	f.Add([]byte(`-0.0`))
+	f.Add([]byte(`"😀"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		canon, err := Canonicalize(data)
+		if err != nil {
+			return
+		}
+		if !json.Valid(canon) {
+			t.Fatalf("canonical form is not valid JSON: %q -> %q", data, canon)
+		}
+		again, err := Canonicalize(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q -> %q: %v", data, canon, err)
+		}
+		if !bytes.Equal(again, canon) {
+			t.Fatalf("not a fixpoint: %q -> %q -> %q", data, canon, again)
+		}
+	})
+}
+
+// FuzzRecordScan drives the disk-log record decoder over arbitrary bytes:
+// it must never panic, never return both records and a hard error for the
+// same region, and every decoded record must re-encode to a frame found at
+// its original position.
+func FuzzRecordScan(f *testing.F) {
+	frame := func(rec Record) []byte {
+		payload := append([]byte{rec.Type}, rec.Data...)
+		out := make([]byte, diskHeaderLen+len(payload))
+		binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+		binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+		copy(out[diskHeaderLen:], payload)
+		return out
+	}
+	f.Add([]byte{})
+	f.Add(frame(Record{Type: RecordArtifact, Data: []byte(`{"kind":"cell","payload":1}`)}))
+	f.Add(append(frame(Record{Type: RecordArtifact, Data: []byte("x")}), frame(Record{Type: RecordBatch, Data: []byte("y")})...))
+	f.Add(frame(Record{Type: RecordArtifact, Data: []byte("torn")})[:10])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, torn, err := DecodeRecords(data)
+		if err != nil && torn {
+			t.Fatalf("both torn and hard error for %q", data)
+		}
+		// Whatever decoded must round-trip: re-framing the records yields a
+		// prefix of the input.
+		var rebuilt []byte
+		for _, r := range recs {
+			rebuilt = append(rebuilt, frame(r)...)
+		}
+		if !bytes.HasPrefix(data, rebuilt) {
+			t.Fatalf("decoded records do not re-frame to a prefix of the input: %q", data)
+		}
+		// A clean, un-torn log must be exactly consumed.
+		if err == nil && !torn && len(rebuilt) != len(data) {
+			t.Fatalf("clean log left %d trailing bytes", len(data)-len(rebuilt))
+		}
+	})
+}
+
+// FuzzProofVerify throws arbitrary proof JSON at the verifier: it must never
+// panic and never accept a proof whose inclusion path wasn't derived from a
+// real tree (detected by rebuilding the claimed tree relation).
+func FuzzProofVerify(f *testing.F) {
+	// Seed with a genuine proof and mutations of it.
+	b := NewMemory()
+	l, err := New(b, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("cell", map[string]int{"seq": i}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	a, err := l.Append("cell", map[string]int{"seq": 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := l.Prove(a.ID)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := json.Marshal(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	bad := bytes.Replace(good, []byte(`"leaf":3`), []byte(`"leaf":2`), 1)
+	f.Add(bad)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"artifact":"00","path":[],"size":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Proof
+		if err := json.Unmarshal(data, &q); err != nil {
+			return
+		}
+		if err := q.Verify(); err != nil {
+			return
+		}
+		// The verifier accepted: the proof must actually recompute. Re-derive
+		// the inclusion independently and require agreement.
+		id, err1 := ParseID(q.Artifact)
+		root, err2 := ParseID(q.Root)
+		prev, err3 := ParseID(q.Prev)
+		chain, err4 := ParseID(q.Chain)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			t.Fatalf("accepted proof with unparseable digests: %q", data)
+		}
+		path := make([]ID, len(q.Path))
+		for i, s := range q.Path {
+			var err error
+			if path[i], err = ParseID(s); err != nil {
+				t.Fatalf("accepted proof with unparseable path element: %q", data)
+			}
+		}
+		if !VerifyInclusion(id, q.Leaf, q.Size, path, root) {
+			t.Fatalf("Verify accepted but VerifyInclusion rejects: %q", data)
+		}
+		if ChainHash(prev, root) != chain {
+			t.Fatalf("Verify accepted but chain link rejects: %q", data)
+		}
+	})
+}

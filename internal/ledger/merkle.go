@@ -1,0 +1,163 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ID is a SHA-256 digest: the content address of an artifact, a Merkle node
+// hash, or a chain root.
+type ID [sha256.Size]byte
+
+// sha256Sum hashes raw bytes into an ID (the plain content address, no
+// domain prefix — artifact records hash this way).
+func sha256Sum(data []byte) ID { return sha256.Sum256(data) }
+
+// String returns the lowercase hex form.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseID parses a 64-character lowercase-or-uppercase hex digest.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if len(s) != 2*sha256.Size {
+		return id, fmt.Errorf("ledger: digest %q: want %d hex characters, have %d", s, 2*sha256.Size, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("ledger: digest %q: %w", s, err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Domain-separation prefixes (RFC 6962 shape): leaves and interior nodes
+// hash under distinct first bytes so a leaf can never be replayed as an
+// interior node, and chain links under a third so batch roots cannot
+// masquerade as tree nodes.
+const (
+	prefixLeaf  = 0x00
+	prefixNode  = 0x01
+	prefixChain = 0x02
+)
+
+// LeafHash hashes one leaf's data (an artifact ID) into its tree position.
+func LeafHash(id ID) ID {
+	h := sha256.New()
+	h.Write([]byte{prefixLeaf})
+	h.Write(id[:])
+	var out ID
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r ID) ID {
+	h := sha256.New()
+	h.Write([]byte{prefixNode})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out ID
+	h.Sum(out[:0])
+	return out
+}
+
+// ChainHash links one batch root onto the previous chain root. The genesis
+// previous root is the zero ID.
+func ChainHash(prev, batchRoot ID) ID {
+	h := sha256.New()
+	h.Write([]byte{prefixChain})
+	h.Write(prev[:])
+	h.Write(batchRoot[:])
+	var out ID
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n (the RFC
+// 6962 subtree split).
+func splitPoint(n int) int {
+	k := 1
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// rootOf computes the Merkle root over pre-hashed leaves.
+func rootOf(hashes []ID) ID {
+	if len(hashes) == 1 {
+		return hashes[0]
+	}
+	k := splitPoint(len(hashes))
+	return nodeHash(rootOf(hashes[:k]), rootOf(hashes[k:]))
+}
+
+// MerkleRoot computes the batch root over the leaf data (artifact IDs) in
+// order. The root of an empty batch is the zero ID; the ledger never
+// anchors one.
+func MerkleRoot(leaves []ID) ID {
+	if len(leaves) == 0 {
+		return ID{}
+	}
+	hashes := make([]ID, len(leaves))
+	for i, l := range leaves {
+		hashes[i] = LeafHash(l)
+	}
+	return rootOf(hashes)
+}
+
+// MerklePath returns leaf i's audit path: the sibling subtree hashes,
+// deepest first, that recompute the root together with the leaf.
+func MerklePath(leaves []ID, i int) ([]ID, error) {
+	if i < 0 || i >= len(leaves) {
+		return nil, fmt.Errorf("ledger: merkle path index %d out of range [0,%d)", i, len(leaves))
+	}
+	hashes := make([]ID, len(leaves))
+	for j, l := range leaves {
+		hashes[j] = LeafHash(l)
+	}
+	return pathOf(hashes, i), nil
+}
+
+func pathOf(hashes []ID, i int) []ID {
+	if len(hashes) == 1 {
+		return nil
+	}
+	k := splitPoint(len(hashes))
+	if i < k {
+		return append(pathOf(hashes[:k], i), rootOf(hashes[k:]))
+	}
+	return append(pathOf(hashes[k:], i-k), rootOf(hashes[:k]))
+}
+
+// VerifyInclusion checks that leaf data sits at index of a size-leaf tree
+// with the given root, using the audit path (RFC 9162 §2.1.3.2 shape). It
+// is the verifier's half of MerklePath and shares no code with it — the
+// tests exploit that independence.
+func VerifyInclusion(leaf ID, index, size int, path []ID, root ID) bool {
+	if index < 0 || size <= 0 || index >= size {
+		return false
+	}
+	fn, sn := uint64(index), uint64(size-1)
+	r := LeafHash(leaf)
+	for _, p := range path {
+		if sn == 0 {
+			return false
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			for fn&1 == 0 {
+				if fn == 0 {
+					break
+				}
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}

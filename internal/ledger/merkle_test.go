@@ -1,0 +1,233 @@
+package ledger
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refRoot recomputes a Merkle root with a deliberately different algorithm
+// from rootOf: iterative level-wise pairing, promoting an odd trailing node
+// unchanged. For RFC 6962-shaped trees (split at the largest power of two
+// below n) the two constructions agree on every size, which makes this a
+// genuinely independent cross-check.
+func refRoot(leaves []ID) ID {
+	if len(leaves) == 0 {
+		return ID{}
+	}
+	level := make([]ID, len(leaves))
+	for i, l := range leaves {
+		level[i] = LeafHash(l)
+	}
+	for len(level) > 1 {
+		var next []ID
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func randomLeaves(r *rand.Rand, n int) []ID {
+	leaves := make([]ID, n)
+	for i := range leaves {
+		r.Read(leaves[i][:])
+	}
+	return leaves
+}
+
+func TestMerkleRootMatchesReference(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(1))
+	for n := 1; n <= 64; n++ {
+		leaves := randomLeaves(r, n)
+		if got, want := MerkleRoot(leaves), refRoot(leaves); got != want {
+			t.Fatalf("n=%d: MerkleRoot %s, reference %s", n, got, want)
+		}
+	}
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	t.Parallel()
+	if MerkleRoot(nil) != (ID{}) {
+		t.Fatal("empty tree root must be the zero ID")
+	}
+}
+
+func TestMerkleDomainSeparation(t *testing.T) {
+	t.Parallel()
+	var a ID
+	a[0] = 7
+	// A single-leaf root is LeafHash(leaf), never the raw leaf: a leaf value
+	// can't be replayed as a root and vice versa.
+	if MerkleRoot([]ID{a}) == a {
+		t.Fatal("single-leaf root equals the raw leaf — missing leaf domain prefix")
+	}
+	if LeafHash(a) == nodeHash(a, a) || nodeHash(a, a) == ChainHash(a, a) || LeafHash(a) == ChainHash(a, a) {
+		t.Fatal("domain prefixes collide")
+	}
+}
+
+// TestMerkleInclusionExhaustive proves every (size, index) pair up to 40:
+// the path from MerklePath verifies under VerifyInclusion — two code paths
+// that share nothing but the hash primitives.
+func TestMerkleInclusionExhaustive(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(2))
+	for n := 1; n <= 40; n++ {
+		leaves := randomLeaves(r, n)
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			path, err := MerklePath(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: MerklePath: %v", n, i, err)
+			}
+			if !VerifyInclusion(leaves[i], i, n, path, root) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+		}
+	}
+}
+
+// TestMerkleInclusionRejectsBitFlips flips every single bit of the leaf,
+// each path element, and the root of otherwise-valid proofs and requires
+// rejection — the "any single-bit flip" clause of the satellite checklist.
+func TestMerkleInclusionRejectsBitFlips(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		leaves := randomLeaves(r, n)
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			path, err := MerklePath(leaves, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flip := func(id *ID, what string) {
+				for byteIdx := 0; byteIdx < len(id); byteIdx++ {
+					for bit := 0; bit < 8; bit++ {
+						id[byteIdx] ^= 1 << bit
+						if VerifyInclusion(leaves[i], i, n, path, root) {
+							t.Fatalf("n=%d i=%d: proof accepted with %s byte %d bit %d flipped", n, i, what, byteIdx, bit)
+						}
+						id[byteIdx] ^= 1 << bit
+					}
+				}
+			}
+			flip(&leaves[i], "leaf")
+			for j := range path {
+				flip(&path[j], "path element")
+			}
+			flip(&root, "root")
+			if !VerifyInclusion(leaves[i], i, n, path, root) {
+				t.Fatalf("n=%d i=%d: proof invalid after all flips restored", n, i)
+			}
+		}
+	}
+}
+
+// grow returns the first m leaves, extending with fresh random leaves when
+// m exceeds the slice.
+func grow(leaves []ID, m int, r *rand.Rand) []ID {
+	if m <= len(leaves) {
+		return leaves[:m]
+	}
+	return append(append([]ID(nil), leaves...), randomLeaves(r, m-len(leaves))...)
+}
+
+// TestMerkleInclusionRejectsWrongPosition checks that a valid proof is bound
+// to its (index, size): replaying it at any other position fails.
+func TestMerkleInclusionRejectsWrongPosition(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(4))
+	const n = 11
+	leaves := randomLeaves(r, n)
+	root := MerkleRoot(leaves)
+	for i := 0; i < n; i++ {
+		path, err := MerklePath(leaves, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wrongIdx := -1; wrongIdx <= n; wrongIdx++ {
+			if wrongIdx == i {
+				continue
+			}
+			if VerifyInclusion(leaves[i], wrongIdx, n, path, root) {
+				t.Fatalf("i=%d: proof accepted at wrong index %d", i, wrongIdx)
+			}
+		}
+		// Degenerate sizes are rejected outright.
+		for _, wrongSize := range []int{-1, 0, i} {
+			if VerifyInclusion(leaves[i], i, wrongSize, path, root) {
+				t.Fatalf("i=%d: proof accepted at degenerate size %d", i, wrongSize)
+			}
+		}
+		// A proof from the size-n tree never verifies against a different
+		// tree's root — the cross-tree replay an attacker actually needs.
+		// (The claimed size alone is not always bound: for left-edge leaves
+		// several sizes share a branching sequence, which RFC 9162 permits
+		// because the root identifies the tree.)
+		for wrongSize := i + 1; wrongSize <= n+4; wrongSize++ {
+			if wrongSize == n {
+				continue
+			}
+			otherRoot := MerkleRoot(grow(leaves, wrongSize, r))
+			if VerifyInclusion(leaves[i], i, wrongSize, path, otherRoot) {
+				t.Fatalf("i=%d: size-%d proof accepted against the size-%d tree's root", i, n, wrongSize)
+			}
+		}
+	}
+}
+
+// TestMerkleInclusionRejectsPathSurgery checks that truncating, extending,
+// or reordering the audit path fails verification.
+func TestMerkleInclusionRejectsPathSurgery(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(5))
+	const n = 13
+	leaves := randomLeaves(r, n)
+	root := MerkleRoot(leaves)
+	for i := 0; i < n; i++ {
+		path, err := MerklePath(leaves, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) > 0 && VerifyInclusion(leaves[i], i, n, path[:len(path)-1], root) {
+			t.Fatalf("i=%d: truncated path accepted", i)
+		}
+		var extra ID
+		r.Read(extra[:])
+		if VerifyInclusion(leaves[i], i, n, append(append([]ID(nil), path...), extra), root) {
+			t.Fatalf("i=%d: extended path accepted", i)
+		}
+		if len(path) >= 2 {
+			swapped := append([]ID(nil), path...)
+			swapped[0], swapped[1] = swapped[1], swapped[0]
+			if swapped[0] != swapped[1] && VerifyInclusion(leaves[i], i, n, swapped, root) {
+				t.Fatalf("i=%d: reordered path accepted", i)
+			}
+		}
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	t.Parallel()
+	var id ID
+	rand.New(rand.NewSource(6)).Read(id[:])
+	got, err := ParseID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("ParseID(%s) = %s", id, got)
+	}
+	for _, bad := range []string{"", "zz", id.String() + "00", id.String()[:62], "g" + id.String()[1:]} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// VerifiedArtifact is one artifact as seen by a full verification replay.
+type VerifiedArtifact struct {
+	// ID is the stored leaf ID — the identity the chain committed to.
+	ID   ID
+	Kind string
+	// Payload is the canonical payload (nil when the record is damaged).
+	Payload []byte
+	// Batch/Leaf locate the artifact (Batch -1 while pending).
+	Batch int
+	Leaf  int
+	// Err is non-nil when the artifact's content no longer matches the
+	// chain's commitment (or no longer decodes at all).
+	Err error
+}
+
+// Problem is one verification failure, located as precisely as the damage
+// allows.
+type Problem struct {
+	// Record is the log record index the problem was detected at.
+	Record int
+	// Batch and Leaf locate the failing leaf (-1 when not leaf-scoped).
+	Batch int
+	Leaf  int
+	// Artifact is the committed artifact ID when known.
+	Artifact string
+	// Msg says what failed.
+	Msg string
+}
+
+func (p Problem) String() string {
+	where := fmt.Sprintf("record %d", p.Record)
+	if p.Batch >= 0 && p.Leaf >= 0 {
+		where = fmt.Sprintf("batch %d leaf %d (record %d)", p.Batch, p.Leaf, p.Record)
+	} else if p.Batch >= 0 {
+		where = fmt.Sprintf("batch %d (record %d)", p.Batch, p.Record)
+	}
+	if p.Artifact != "" {
+		return fmt.Sprintf("%s artifact %s: %s", where, p.Artifact, p.Msg)
+	}
+	return fmt.Sprintf("%s: %s", where, p.Msg)
+}
+
+// VerifyReport is the outcome of a full ledger verification replay.
+type VerifyReport struct {
+	// State is the verified chain head.
+	State ChainState
+	// Artifacts lists every artifact in log order, damaged ones included.
+	Artifacts []VerifiedArtifact
+	// Problems lists every verification failure in detection order.
+	Problems []Problem
+}
+
+// OK reports whether the replay verified cleanly.
+func (r VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// Verify replays a backend's full record log and checks every commitment
+// independently of the Ledger type: batch roots recomputed from recorded
+// leaves, chain links rechecked hop by hop, and each artifact's content
+// hash compared against the leaf the chain committed to. Structural damage
+// to the chain itself (a bad root or broken link) stops the replay — nothing
+// after it is trustworthy — but per-artifact content damage is collected and
+// attributed to its exact leaf, so intact siblings still verify (and can
+// still be proven and re-simulated).
+func Verify(b Backend) VerifyReport {
+	var rep VerifyReport
+	// arts maps content ID → verified artifact index for leaf matching;
+	// position tracks pending artifacts in log order, keeping per-record
+	// indices so problems name the damaged record.
+	type pendingArt struct {
+		rec  int
+		idx  int // index into rep.Artifacts
+		id   ID  // content hash of the record as stored
+		ok   bool
+		kind string
+	}
+	var pending []pendingArt
+	var chain ID
+	batches := 0
+	anchored := 0
+
+	fail := func(p Problem) { rep.Problems = append(rep.Problems, p) }
+
+	for i := 0; i < b.Len(); i++ {
+		rec, err := b.Read(i)
+		if err != nil {
+			fail(Problem{Record: i, Batch: -1, Leaf: -1, Msg: err.Error()})
+			break
+		}
+		switch rec.Type {
+		case RecordArtifact:
+			a, err := decodeArtifact(rec.Data)
+			if err != nil {
+				// The record still occupies a leaf slot: remember it by the
+				// hash of its (damaged) bytes so the batch walk can name it.
+				rep.Artifacts = append(rep.Artifacts, VerifiedArtifact{ID: contentID(rec.Data), Batch: -1, Leaf: -1, Err: err})
+				pending = append(pending, pendingArt{rec: i, idx: len(rep.Artifacts) - 1, id: contentID(rec.Data)})
+				continue
+			}
+			rep.Artifacts = append(rep.Artifacts, VerifiedArtifact{ID: a.ID, Kind: a.Kind, Payload: a.Payload, Batch: -1, Leaf: -1})
+			pending = append(pending, pendingArt{rec: i, idx: len(rep.Artifacts) - 1, id: a.ID, ok: true, kind: a.Kind})
+		case RecordBatch:
+			bt, err := decodeBatch(rec.Data)
+			if err != nil {
+				fail(Problem{Record: i, Batch: batches, Leaf: -1, Msg: fmt.Sprintf("batch record does not decode: %v", err)})
+				return rep
+			}
+			if bt.Index != batches {
+				fail(Problem{Record: i, Batch: batches, Leaf: -1, Msg: fmt.Sprintf("batch index %d, want %d", bt.Index, batches)})
+				return rep
+			}
+			if bt.Prev != chain {
+				fail(Problem{Record: i, Batch: bt.Index, Leaf: -1, Msg: fmt.Sprintf("prev chain root %s does not extend %s", bt.Prev, chain)})
+				return rep
+			}
+			if len(bt.Leaves) == 0 || len(bt.Leaves) != len(pending) {
+				fail(Problem{Record: i, Batch: bt.Index, Leaf: -1, Msg: fmt.Sprintf("%d leaves but %d artifacts pending", len(bt.Leaves), len(pending))})
+				return rep
+			}
+			if root := MerkleRoot(bt.Leaves); root != bt.Root {
+				fail(Problem{Record: i, Batch: bt.Index, Leaf: -1, Msg: fmt.Sprintf("recorded root %s, recomputed %s", bt.Root, root)})
+				return rep
+			}
+			if link := ChainHash(bt.Prev, bt.Root); link != bt.Chain {
+				fail(Problem{Record: i, Batch: bt.Index, Leaf: -1, Msg: fmt.Sprintf("recorded chain root %s, recomputed %s", bt.Chain, link)})
+				return rep
+			}
+			// The chain is sound. Now attribute any content damage to its
+			// exact leaf: a stored leaf whose artifact record hashes
+			// differently was modified after anchoring.
+			for j, leaf := range bt.Leaves {
+				p := pending[j]
+				va := &rep.Artifacts[p.idx]
+				va.Batch, va.Leaf = bt.Index, j
+				va.ID = leaf
+				switch {
+				case !p.ok:
+					va.Err = fmt.Errorf("artifact record does not decode: %v", va.Err)
+					fail(Problem{Record: p.rec, Batch: bt.Index, Leaf: j, Artifact: leaf.String(), Msg: va.Err.Error()})
+				case p.id != leaf:
+					va.Err = fmt.Errorf("content hash %s does not match committed leaf %s", p.id, leaf)
+					va.Payload = nil
+					fail(Problem{Record: p.rec, Batch: bt.Index, Leaf: j, Artifact: leaf.String(), Msg: va.Err.Error()})
+				}
+			}
+			pending = pending[:0]
+			chain = bt.Chain
+			batches++
+			anchored += len(bt.Leaves)
+		default:
+			fail(Problem{Record: i, Batch: -1, Leaf: -1, Msg: fmt.Sprintf("unknown record type %q", rec.Type)})
+			return rep
+		}
+	}
+	for _, p := range pending {
+		if !p.ok {
+			va := rep.Artifacts[p.idx]
+			fail(Problem{Record: p.rec, Batch: -1, Leaf: -1, Artifact: p.id.String(), Msg: fmt.Sprintf("pending artifact record does not decode: %v", va.Err)})
+		}
+	}
+	rep.State = ChainState{Batches: batches, Artifacts: anchored, Pending: len(pending), Chain: chain.String()}
+	return rep
+}
+
+// ProveFrom builds an inclusion proof for an anchored artifact straight
+// from a verification report — the read-only path cmd/audit uses, which
+// works even when sibling artifacts are damaged (the chain committed to
+// their leaf IDs, not their bytes).
+func ProveFrom(b Backend, rep VerifyReport, id ID) (Proof, error) {
+	var target *VerifiedArtifact
+	for i := range rep.Artifacts {
+		if rep.Artifacts[i].ID == id {
+			target = &rep.Artifacts[i]
+			break
+		}
+	}
+	if target == nil {
+		return Proof{}, fmt.Errorf("%w: %s", ErrUnknownArtifact, id)
+	}
+	if target.Batch < 0 {
+		return Proof{}, fmt.Errorf("ledger: artifact %s is not anchored yet", id)
+	}
+	// Recover the batch record to rebuild the path from committed leaves.
+	batchSeen := -1
+	for i := 0; i < b.Len(); i++ {
+		rec, err := b.Read(i)
+		if err != nil {
+			return Proof{}, err
+		}
+		if rec.Type != RecordBatch {
+			continue
+		}
+		batchSeen++
+		if batchSeen != target.Batch {
+			continue
+		}
+		bt, err := decodeBatch(rec.Data)
+		if err != nil {
+			return Proof{}, err
+		}
+		path, err := MerklePath(bt.Leaves, target.Leaf)
+		if err != nil {
+			return Proof{}, err
+		}
+		p := Proof{
+			Artifact: id.String(),
+			Kind:     target.Kind,
+			Batch:    bt.Index,
+			Leaf:     target.Leaf,
+			Size:     len(bt.Leaves),
+			Path:     make([]string, len(path)),
+			Root:     bt.Root.String(),
+			Prev:     bt.Prev.String(),
+			Chain:    bt.Chain.String(),
+		}
+		for i, h := range path {
+			p.Path[i] = h.String()
+		}
+		return p, nil
+	}
+	return Proof{}, fmt.Errorf("ledger: batch %d not found for artifact %s", target.Batch, id)
+}
+
+// DecodePayload unmarshals an artifact payload into v — a convenience for
+// auditors re-simulating historical results.
+func DecodePayload(a VerifiedArtifact, v any) error {
+	if a.Err != nil {
+		return a.Err
+	}
+	return json.Unmarshal(a.Payload, v)
+}

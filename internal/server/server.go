@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"glider/internal/experiments"
+	"glider/internal/ledger"
 	"glider/internal/obs"
 	"glider/internal/policy"
 	"glider/internal/simrunner"
@@ -60,6 +61,12 @@ type Config struct {
 	// Obs receives the server's metrics; nil allocates a fresh registry
 	// (exposed on /metrics either way).
 	Obs *obs.Registry
+	// Ledger, when set, records every successfully served result as a
+	// content-addressed artifact and exposes the chain head and inclusion
+	// proofs on /v1/ledger/root and /v1/ledger/proof. Recording is
+	// best-effort: a ledger failure never fails the job that produced the
+	// result. nil disables the endpoints (they answer 404).
+	Ledger *ledger.Ledger
 	// Executor overrides job execution — the deterministic seam the
 	// backpressure and drain tests use. nil selects the real experiments
 	// entry points.
@@ -326,6 +333,20 @@ func (s *Server) rejectQueued() {
 // ------------------------------------------------------------- resolution
 
 func (s *Server) exec(ctx context.Context, spec JobSpec) (json.RawMessage, error) {
+	res, err := s.execInner(ctx, spec)
+	if err == nil && s.cfg.Ledger != nil {
+		// Record the served bytes. Best-effort by design — and because
+		// artifacts are content-addressed, this dedupes against the record
+		// the experiments entry point itself may have made: both canonicalize
+		// to the same bytes, so the ledger holds one entry either way.
+		if kind := ArtifactKind(spec.Kind); kind != "" {
+			_, _ = s.cfg.Ledger.Append(kind, json.RawMessage(res))
+		}
+	}
+	return res, err
+}
+
+func (s *Server) execInner(ctx context.Context, spec JobSpec) (json.RawMessage, error) {
 	if s.cfg.Executor != nil {
 		return s.cfg.Executor(ctx, spec)
 	}
@@ -351,6 +372,22 @@ func (s *Server) exec(ctx context.Context, spec JobSpec) (json.RawMessage, error
 	default:
 		return nil, &apiError{status: 422, msg: fmt.Sprintf("unknown job kind %q", spec.Kind)}
 	}
+}
+
+// ArtifactKind maps a job kind to the ledger artifact kind its result is
+// recorded under ("" for kinds the ledger does not record). Clients derive a
+// served result's artifact ID with ledger.ArtifactIDFor(ArtifactKind(kind),
+// envelope.Result).
+func ArtifactKind(jobKind string) string {
+	switch jobKind {
+	case KindSim:
+		return experiments.LedgerKindCell
+	case KindPredict:
+		return experiments.LedgerKindPredict
+	case KindEstimate:
+		return experiments.LedgerKindEstimate
+	}
+	return ""
 }
 
 // resolve returns the job's result bytes, serving from the cache, joining
@@ -480,6 +517,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/ledger/root", s.handleLedgerRoot)
+	mux.HandleFunc("GET /v1/ledger/proof", s.handleLedgerProof)
 	mux.HandleFunc("POST /v1/sim", s.handleJob(KindSim, "sim"))
 	mux.HandleFunc("POST /v1/predict", s.handleJob(KindPredict, "predict"))
 	mux.HandleFunc("POST /v1/estimate", s.handleJob(KindEstimate, "estimate"))
@@ -530,6 +569,44 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(cat.Policies)
 	sort.Strings(cat.Predictors)
 	writeJSON(w, http.StatusOK, cat)
+}
+
+// handleLedgerRoot publishes the ledger chain head: batch/artifact counts
+// and the chain root an auditor compares against its own replay.
+func (s *Server) handleLedgerRoot(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.http.ledger_root").Inc()
+	if s.cfg.Ledger == nil {
+		s.writeError(w, "ledger_root", &apiError{status: http.StatusNotFound, msg: "no ledger configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Ledger.Root())
+}
+
+// handleLedgerProof answers ?artifact=<hex id> with a self-contained
+// inclusion proof (anchoring the artifact first if it is still pending).
+// Unknown artifacts answer 404 so a gateway can fan a proof request across
+// a fleet and take the first hit.
+func (s *Server) handleLedgerProof(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.http.ledger_proof").Inc()
+	if s.cfg.Ledger == nil {
+		s.writeError(w, "ledger_proof", &apiError{status: http.StatusNotFound, msg: "no ledger configured"})
+		return
+	}
+	id, err := ledger.ParseID(r.URL.Query().Get("artifact"))
+	if err != nil {
+		s.writeError(w, "ledger_proof", &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf("artifact: %v", err)})
+		return
+	}
+	p, err := s.cfg.Ledger.Prove(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ledger.ErrUnknownArtifact) {
+			status = http.StatusNotFound
+		}
+		s.writeError(w, "ledger_proof", &apiError{status: status, msg: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 func (s *Server) handleJob(kind, endpoint string) http.HandlerFunc {
